@@ -1,0 +1,171 @@
+//! Customer-cone computations.
+//!
+//! Two variants are used by the paper:
+//!
+//! * the **graph customer cone** — everything reachable by following
+//!   provider→customer edges from an AS (CAIDA's recursive cone), used to
+//!   split ASes into Stub/Transit for §5's topological classes, and
+//! * the **provider/peer observed customer cone (PPDC)** — derived from paths:
+//!   an AS's cone contains every AS that appears *behind* it on a path where it
+//!   was reached from a provider or peer (Luckie et al. 2013). The paper's
+//!   Appendix B heatmaps (Figs. 7–8) bin transit links by PPDC size.
+
+use crate::asn::Asn;
+use crate::graph::AsGraph;
+use crate::link::Link;
+use crate::paths::PathSet;
+use crate::rel::Rel;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Computes the full customer cone of `asn` over `graph` (self included).
+#[must_use]
+pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
+    let mut cone = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    cone.insert(asn);
+    queue.push_back(asn);
+    while let Some(current) = queue.pop_front() {
+        for customer in graph.customers(current) {
+            if cone.insert(customer) {
+                queue.push_back(customer);
+            }
+        }
+    }
+    cone
+}
+
+/// Customer-cone sizes for every AS in the graph (self included), computed in
+/// reverse-topological order with memoisation where the customer DAG allows it.
+#[must_use]
+pub fn customer_cone_sizes(graph: &AsGraph) -> HashMap<Asn, usize> {
+    graph
+        .ases()
+        .map(|asn| (asn, customer_cone(graph, asn).len()))
+        .collect()
+}
+
+/// Computes the provider/peer observed customer cones (PPDC) from observed
+/// paths and a relationship labelling.
+///
+/// For each path `… u x d1 d2 …` where `u` is a provider or peer of `x`
+/// according to `rels`, every `di` is placed into `x`'s cone. The AS itself is
+/// always a member of its own cone.
+#[must_use]
+pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, HashSet<Asn>> {
+    let mut cones: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+    for op in paths.paths() {
+        let c = op.path.compressed();
+        for i in 1..c.len() {
+            let upstream = c[i - 1];
+            let x = c[i];
+            let Some(link) = Link::new(upstream, x) else {
+                continue;
+            };
+            let from_provider_or_peer = match rels.get(&link) {
+                Some(Rel::P2p) => true,
+                Some(Rel::P2c { provider }) => *provider == upstream,
+                _ => false,
+            };
+            if from_provider_or_peer {
+                let cone = cones.entry(x).or_default();
+                for &d in &c[i + 1..] {
+                    cone.insert(d);
+                }
+            }
+        }
+    }
+    // Every observed AS is in its own cone.
+    let stats = paths.stats();
+    for asn in stats.ases() {
+        cones.entry(asn).or_default().insert(asn);
+    }
+    cones
+}
+
+/// PPDC cone *sizes* (see [`ppdc_cones`]).
+#[must_use]
+pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, usize> {
+    ppdc_cones(paths, rels)
+        .into_iter()
+        .map(|(a, s)| (a, s.len()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::AsPath;
+
+    fn l(a: u32, b: u32) -> Link {
+        Link::new(Asn(a), Asn(b)).unwrap()
+    }
+
+    fn p2c(provider: u32) -> Rel {
+        Rel::P2c {
+            provider: Asn(provider),
+        }
+    }
+
+    #[test]
+    fn cone_follows_customers_transitively() {
+        let mut g = AsGraph::new();
+        g.add_rel(l(1, 2), p2c(1)).unwrap();
+        g.add_rel(l(2, 3), p2c(2)).unwrap();
+        g.add_rel(l(2, 4), p2c(2)).unwrap();
+        g.add_rel(l(1, 5), Rel::P2p).unwrap(); // peers do not extend the cone
+
+        let cone = customer_cone(&g, Asn(1));
+        assert_eq!(
+            cone.into_iter().collect::<Vec<_>>(),
+            vec![Asn(1), Asn(2), Asn(3), Asn(4)]
+        );
+        assert_eq!(customer_cone(&g, Asn(3)).len(), 1);
+        let sizes = customer_cone_sizes(&g);
+        assert_eq!(sizes[&Asn(1)], 4);
+        assert_eq!(sizes[&Asn(2)], 3);
+        assert_eq!(sizes[&Asn(5)], 1);
+    }
+
+    #[test]
+    fn cone_handles_multihoming_without_double_count() {
+        let mut g = AsGraph::new();
+        g.add_rel(l(1, 2), p2c(1)).unwrap();
+        g.add_rel(l(1, 3), p2c(1)).unwrap();
+        g.add_rel(l(2, 4), p2c(2)).unwrap();
+        g.add_rel(l(3, 4), p2c(3)).unwrap(); // 4 multihomes to 2 and 3
+        assert_eq!(customer_cone(&g, Asn(1)).len(), 4);
+    }
+
+    #[test]
+    fn ppdc_counts_only_provider_or_peer_upstream() {
+        let mut rels = HashMap::new();
+        rels.insert(l(1, 2), p2c(1)); // 1 provider of 2
+        rels.insert(l(2, 3), p2c(2)); // 2 provider of 3
+        rels.insert(l(4, 2), p2c(2)); // 2 provider of 4 → upstream 4→2 is customer side
+
+        let mut ps = PathSet::new();
+        // VP 1: 1 (provider of 2) → 2 → 3 puts 3 into 2's PPDC.
+        ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3)]));
+        // VP 4: 4 (customer of 2) → 2 → 3 must NOT grow 2's PPDC.
+        ps.push(Asn(4), AsPath::new(vec![Asn(4), Asn(2), Asn(3)]));
+
+        let cones = ppdc_cones(&ps, &rels);
+        let cone2: BTreeSet<_> = cones[&Asn(2)].iter().copied().collect();
+        assert_eq!(cone2.into_iter().collect::<Vec<_>>(), vec![Asn(2), Asn(3)]);
+        // AS3 observed only at path tails still has the self cone.
+        assert_eq!(cones[&Asn(3)].len(), 1);
+        let sizes = ppdc_sizes(&ps, &rels);
+        assert_eq!(sizes[&Asn(2)], 2);
+    }
+
+    #[test]
+    fn ppdc_peer_upstream_counts() {
+        let mut rels = HashMap::new();
+        rels.insert(l(1, 2), Rel::P2p);
+        rels.insert(l(2, 3), p2c(2));
+        let mut ps = PathSet::new();
+        ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3)]));
+        let sizes = ppdc_sizes(&ps, &rels);
+        assert_eq!(sizes[&Asn(2)], 2);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error types for graph construction and queries.
+
+use crate::asn::Asn;
+use crate::link::Link;
+use std::fmt;
+
+/// Errors raised when building or mutating an [`crate::AsGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The same link was inserted twice with conflicting relationships.
+    ConflictingRelationship {
+        /// The link in question.
+        link: Link,
+    },
+    /// A P2C relationship named a provider that is not an endpoint of the link.
+    ProviderNotOnLink {
+        /// The link in question.
+        link: Link,
+        /// The offending provider ASN.
+        provider: Asn,
+    },
+    /// A self-adjacency was passed where a link was required.
+    SelfLoop {
+        /// The ASN adjacent to itself.
+        asn: Asn,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ConflictingRelationship { link } => {
+                write!(f, "conflicting relationship labels for link {link}")
+            }
+            GraphError::ProviderNotOnLink { link, provider } => {
+                write!(f, "provider {provider} is not an endpoint of link {link}")
+            }
+            GraphError::SelfLoop { asn } => write!(f, "self-loop on {asn} is not a link"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

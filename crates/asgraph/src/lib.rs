@@ -1,0 +1,39 @@
+//! # asgraph — AS-level graph substrate
+//!
+//! Core data model shared by the whole `breval` workspace:
+//!
+//! * [`Asn`] — autonomous-system numbers, including the IANA-reserved ranges and
+//!   the `AS_TRANS` placeholder relevant to validation-label cleaning (§4.2 of the
+//!   paper).
+//! * [`Link`] — an undirected, normalised AS adjacency.
+//! * [`Rel`] / [`GtRel`] — simple and ground-truth (complex) business relationships.
+//! * [`AsGraph`] — a relationship-labelled adjacency structure with degree,
+//!   provider/customer/peer views and customer-cone computation.
+//! * [`AsPath`] / [`PathSet`] — observed BGP AS paths with the derived statistics
+//!   (node degree, transit degree, vantage-point visibility) that the inference
+//!   algorithms in `asinfer` consume.
+//! * [`clique`] — Tier-1 clique inference over transit-degree rankings, as used by
+//!   the ASRank pipeline.
+//!
+//! The crate is dependency-light (only `serde`) and purely computational.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod clique;
+pub mod cone;
+pub mod error;
+pub mod graph;
+pub mod link;
+pub mod paths;
+pub mod rel;
+pub mod valley;
+
+pub use asn::Asn;
+pub use error::GraphError;
+pub use graph::{AsGraph, NeighborRole};
+pub use link::Link;
+pub use paths::{AsPath, ObservedPath, PathSet, PathStats};
+pub use rel::{GtRel, Rel, RelClass};
+pub use valley::{check_valley_free, ValleyViolation};

@@ -1,0 +1,114 @@
+//! Undirected, normalised AS adjacencies.
+
+use crate::asn::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An undirected link between two distinct ASes, stored in normalised order
+/// (`a < b`). All link-keyed maps in the workspace use this type so that the
+/// same adjacency observed in either direction collapses to one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Link {
+    a: Asn,
+    b: Asn,
+}
+
+impl Link {
+    /// Builds a normalised link. Returns `None` for a self-adjacency (which can
+    /// appear in raw AS paths through prepending but is never a link).
+    #[must_use]
+    pub fn new(x: Asn, y: Asn) -> Option<Self> {
+        if x == y {
+            None
+        } else if x < y {
+            Some(Link { a: x, b: y })
+        } else {
+            Some(Link { a: y, b: x })
+        }
+    }
+
+    /// The lexicographically smaller endpoint.
+    #[must_use]
+    pub fn a(&self) -> Asn {
+        self.a
+    }
+
+    /// The lexicographically larger endpoint.
+    #[must_use]
+    pub fn b(&self) -> Asn {
+        self.b
+    }
+
+    /// Both endpoints in normalised order.
+    #[must_use]
+    pub fn endpoints(&self) -> (Asn, Asn) {
+        (self.a, self.b)
+    }
+
+    /// `true` if `asn` is one of the endpoints.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.a == asn || self.b == asn
+    }
+
+    /// Given one endpoint, returns the other; `None` if `asn` is not incident.
+    #[must_use]
+    pub fn other(&self, asn: Asn) -> Option<Asn> {
+        if asn == self.a {
+            Some(self.b)
+        } else if asn == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// `true` if either endpoint is an IANA-reserved ASN or `AS_TRANS`.
+    ///
+    /// §5 of the paper discards such links before class assignment.
+    #[must_use]
+    pub fn involves_reserved(&self) -> bool {
+        self.a.is_reserved() || self.b.is_reserved()
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}–{}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_order() {
+        let l1 = Link::new(Asn(10), Asn(5)).unwrap();
+        let l2 = Link::new(Asn(5), Asn(10)).unwrap();
+        assert_eq!(l1, l2);
+        assert_eq!(l1.a(), Asn(5));
+        assert_eq!(l1.b(), Asn(10));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert!(Link::new(Asn(7), Asn(7)).is_none());
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let l = Link::new(Asn(1), Asn(2)).unwrap();
+        assert_eq!(l.other(Asn(1)), Some(Asn(2)));
+        assert_eq!(l.other(Asn(2)), Some(Asn(1)));
+        assert_eq!(l.other(Asn(3)), None);
+        assert!(l.contains(Asn(1)) && l.contains(Asn(2)) && !l.contains(Asn(9)));
+    }
+
+    #[test]
+    fn reserved_detection() {
+        assert!(Link::new(Asn(64512), Asn(3356)).unwrap().involves_reserved());
+        assert!(Link::new(Asn(23456), Asn(3356)).unwrap().involves_reserved());
+        assert!(!Link::new(Asn(174), Asn(3356)).unwrap().involves_reserved());
+    }
+}

@@ -1,0 +1,229 @@
+//! Business-relationship labels.
+//!
+//! Two layers are distinguished:
+//!
+//! * [`Rel`] — the *simple* three-way classification (P2C / P2P / S2S) that the
+//!   inference algorithms output and that validation labels are reduced to.
+//! * [`GtRel`] — the *ground-truth* relationship a link actually has in a
+//!   generated topology, which additionally models partial transit and per-PoP
+//!   hybrid behaviour (Giotsas et al. 2014, discussed in §3.1/§4.2 of the paper).
+
+use crate::asn::Asn;
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A simple AS business relationship on a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rel {
+    /// Provider-to-customer; `provider` must be one of the link endpoints.
+    P2c {
+        /// The endpoint acting as the transit provider.
+        provider: Asn,
+    },
+    /// Settlement-free peering.
+    P2p,
+    /// Sibling — both ASes belong to the same organisation.
+    S2s,
+}
+
+/// The relationship *class* irrespective of P2C orientation — the unit of the
+/// paper's confusion matrices ("P2P as positive class" vs "P2C as positive
+/// class").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelClass {
+    /// Provider-to-customer (either orientation).
+    P2c,
+    /// Settlement-free peering.
+    P2p,
+    /// Sibling.
+    S2s,
+}
+
+impl Rel {
+    /// Orientation-insensitive class of this relationship.
+    #[must_use]
+    pub fn class(&self) -> RelClass {
+        match self {
+            Rel::P2c { .. } => RelClass::P2c,
+            Rel::P2p => RelClass::P2p,
+            Rel::S2s => RelClass::S2s,
+        }
+    }
+
+    /// The provider endpoint, for P2C relationships.
+    #[must_use]
+    pub fn provider(&self) -> Option<Asn> {
+        match self {
+            Rel::P2c { provider } => Some(*provider),
+            _ => None,
+        }
+    }
+
+    /// The customer endpoint of `link`, for P2C relationships.
+    #[must_use]
+    pub fn customer_on(&self, link: Link) -> Option<Asn> {
+        self.provider().and_then(|p| link.other(p))
+    }
+
+    /// `true` if the relationship is consistent with `link` (its provider, if
+    /// any, is an endpoint of `link`).
+    #[must_use]
+    pub fn is_valid_for(&self, link: Link) -> bool {
+        match self {
+            Rel::P2c { provider } => link.contains(*provider),
+            _ => true,
+        }
+    }
+
+    /// Two relationship labels *agree* if they have the same class and, for
+    /// P2C, the same orientation.
+    #[must_use]
+    pub fn agrees_with(&self, other: &Rel) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rel::P2c { provider } => write!(f, "p2c(provider={provider})"),
+            Rel::P2p => write!(f, "p2p"),
+            Rel::S2s => write!(f, "s2s"),
+        }
+    }
+}
+
+impl fmt::Display for RelClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelClass::P2c => write!(f, "p2c"),
+            RelClass::P2p => write!(f, "p2p"),
+            RelClass::S2s => write!(f, "s2s"),
+        }
+    }
+}
+
+/// Ground-truth relationship of a link in a generated topology.
+///
+/// Beyond the base [`Rel`], this captures the complex behaviours that the paper
+/// identifies as validation pitfalls:
+///
+/// * **partial transit** — the provider exports the customer's routes to its
+///   own customers (and optionally peers) but not upward; publicly the link can
+///   look like peering (the §6.1 Cogent mechanism), and
+/// * **hybrid** — the relationship differs per interconnection PoP, producing
+///   multi-label validation entries (§4.2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtRel {
+    /// The primary (contractual) relationship.
+    pub base: Rel,
+    /// `true` if a P2C relationship is scoped to partial transit: the customer's
+    /// routes are exported only to the provider's customer cone, never to the
+    /// provider's peers or providers.
+    pub partial_transit: bool,
+    /// For hybrid links: the relationship observed at a minority of PoPs.
+    pub hybrid_alt: Option<Rel>,
+}
+
+impl GtRel {
+    /// A plain, single-PoP relationship.
+    #[must_use]
+    pub fn simple(base: Rel) -> Self {
+        GtRel {
+            base,
+            partial_transit: false,
+            hybrid_alt: None,
+        }
+    }
+
+    /// A partial-transit P2C relationship.
+    #[must_use]
+    pub fn partial(provider: Asn) -> Self {
+        GtRel {
+            base: Rel::P2c { provider },
+            partial_transit: true,
+            hybrid_alt: None,
+        }
+    }
+
+    /// A hybrid relationship (`base` at most PoPs, `alt` at the rest).
+    #[must_use]
+    pub fn hybrid(base: Rel, alt: Rel) -> Self {
+        GtRel {
+            base,
+            partial_transit: false,
+            hybrid_alt: Some(alt),
+        }
+    }
+
+    /// `true` if this link needs special validation treatment (§4.2): hybrid
+    /// links produce ambiguous multi-label validation entries.
+    #[must_use]
+    pub fn is_complex(&self) -> bool {
+        self.partial_transit || self.hybrid_alt.is_some()
+    }
+
+    /// All relationship labels an observer could legitimately record.
+    #[must_use]
+    pub fn observable_labels(&self) -> Vec<Rel> {
+        let mut v = vec![self.base];
+        if let Some(alt) = self.hybrid_alt {
+            v.push(alt);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(Asn(10), Asn(20)).unwrap()
+    }
+
+    #[test]
+    fn p2c_orientation() {
+        let r = Rel::P2c { provider: Asn(10) };
+        assert_eq!(r.class(), RelClass::P2c);
+        assert_eq!(r.provider(), Some(Asn(10)));
+        assert_eq!(r.customer_on(link()), Some(Asn(20)));
+        assert!(r.is_valid_for(link()));
+        let bad = Rel::P2c { provider: Asn(99) };
+        assert!(!bad.is_valid_for(link()));
+        assert_eq!(bad.customer_on(link()), None);
+    }
+
+    #[test]
+    fn class_of_p2p_and_s2s() {
+        assert_eq!(Rel::P2p.class(), RelClass::P2p);
+        assert_eq!(Rel::S2s.class(), RelClass::S2s);
+        assert_eq!(Rel::P2p.provider(), None);
+        assert!(Rel::P2p.is_valid_for(link()));
+    }
+
+    #[test]
+    fn orientation_matters_for_agreement() {
+        let ab = Rel::P2c { provider: Asn(10) };
+        let ba = Rel::P2c { provider: Asn(20) };
+        assert!(!ab.agrees_with(&ba));
+        assert!(ab.agrees_with(&ab));
+        assert_eq!(ab.class(), ba.class());
+    }
+
+    #[test]
+    fn gtrel_complexity() {
+        let simple = GtRel::simple(Rel::P2p);
+        assert!(!simple.is_complex());
+        assert_eq!(simple.observable_labels(), vec![Rel::P2p]);
+
+        let partial = GtRel::partial(Asn(10));
+        assert!(partial.is_complex());
+        assert_eq!(partial.base.provider(), Some(Asn(10)));
+
+        let hybrid = GtRel::hybrid(Rel::P2p, Rel::P2c { provider: Asn(10) });
+        assert!(hybrid.is_complex());
+        assert_eq!(hybrid.observable_labels().len(), 2);
+    }
+}

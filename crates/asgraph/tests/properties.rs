@@ -1,0 +1,104 @@
+//! Property-based tests for the asgraph substrate.
+
+use asgraph::{cone, Asn, AsGraph, AsPath, Link, PathSet, Rel};
+use proptest::prelude::*;
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    (1u32..500).prop_map(Asn)
+}
+
+fn arb_path() -> impl Strategy<Value = AsPath> {
+    prop::collection::vec(arb_asn(), 0..12).prop_map(AsPath::new)
+}
+
+proptest! {
+    /// Link construction is symmetric and normalised.
+    #[test]
+    fn link_normalisation(a in arb_asn(), b in arb_asn()) {
+        match (Link::new(a, b), Link::new(b, a)) {
+            (Some(l1), Some(l2)) => {
+                prop_assert_eq!(l1, l2);
+                prop_assert!(l1.a() < l1.b());
+                prop_assert!(l1.contains(a) && l1.contains(b));
+                prop_assert_eq!(l1.other(a), Some(b));
+            }
+            (None, None) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "asymmetric link construction"),
+        }
+    }
+
+    /// Path compression is idempotent and removes exactly the consecutive runs.
+    #[test]
+    fn compression_idempotent(path in arb_path()) {
+        let c1 = path.compressed();
+        let recompressed = AsPath::new(c1.clone()).compressed();
+        prop_assert_eq!(&c1, &recompressed);
+        // No consecutive duplicates remain.
+        prop_assert!(c1.windows(2).all(|w| w[0] != w[1]));
+        // Same multiset of distinct ASes.
+        let mut orig: Vec<Asn> = path.hops().to_vec();
+        orig.dedup();
+        prop_assert_eq!(c1, orig);
+    }
+
+    /// A loop-free path never revisits an AS after compression.
+    #[test]
+    fn loop_free_paths_have_unique_hops(path in arb_path()) {
+        if !path.has_loop() {
+            let c = path.compressed();
+            let mut sorted = c.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), c.len());
+        }
+    }
+
+    /// Triplet count equals max(compressed_len - 2, 0); link count equals
+    /// max(compressed_len - 1, 0).
+    #[test]
+    fn triplet_and_link_counts(path in arb_path()) {
+        let n = path.compressed().len();
+        prop_assert_eq!(path.triplets().len(), n.saturating_sub(2));
+        prop_assert_eq!(path.links().len(), n.saturating_sub(1));
+    }
+
+    /// The customer cone always contains the AS itself and is monotone under
+    /// adding customer links.
+    #[test]
+    fn cone_contains_self_and_grows(
+        links in prop::collection::vec((arb_asn(), arb_asn()), 1..40)
+    ) {
+        let mut g = AsGraph::new();
+        for (p, c) in &links {
+            if let Some(link) = Link::new(*p, *c) {
+                // Ignore conflicts: first orientation wins.
+                let _ = g.add_rel(link, Rel::P2c { provider: *p });
+            }
+        }
+        for asn in g.ases() {
+            let cone = cone::customer_cone(&g, asn);
+            prop_assert!(cone.contains(&asn));
+            // Every direct customer is in the cone.
+            for c in g.customers(asn) {
+                prop_assert!(cone.contains(&c));
+            }
+        }
+    }
+
+    /// PathStats degrees: transit degree never exceeds node degree.
+    #[test]
+    fn transit_degree_bounded_by_node_degree(
+        paths in prop::collection::vec(arb_path(), 0..20)
+    ) {
+        let mut ps = PathSet::new();
+        for p in paths {
+            if let Some(vp) = p.head() {
+                ps.push(vp, p);
+            }
+        }
+        let stats = ps.stats();
+        for asn in stats.ases() {
+            prop_assert!(stats.transit_degree(asn) <= stats.node_degree(asn));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared classifier interface and output type.
+
+use asgraph::{Asn, Link, PathSet, Rel, RelClass};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The output of a relationship-inference run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inference {
+    /// Which classifier produced this (for reporting).
+    pub classifier: String,
+    /// Per-link inferred relationship.
+    pub rels: BTreeMap<Link, Rel>,
+    /// The inferred provider-free clique (empty for algorithms without a
+    /// clique stage).
+    pub clique: BTreeSet<Asn>,
+}
+
+impl Inference {
+    /// The inferred relationship of `link`.
+    #[must_use]
+    pub fn rel(&self, link: Link) -> Option<Rel> {
+        self.rels.get(&link).copied()
+    }
+
+    /// Number of classified links.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// `true` if nothing was classified.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Counts per relationship class.
+    #[must_use]
+    pub fn class_counts(&self) -> BTreeMap<RelClass, usize> {
+        let mut out = BTreeMap::new();
+        for rel in self.rels.values() {
+            *out.entry(rel.class()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Fraction of links inferred P2C.
+    #[must_use]
+    pub fn p2c_share(&self) -> f64 {
+        if self.rels.is_empty() {
+            return 0.0;
+        }
+        let p2c = self
+            .rels
+            .values()
+            .filter(|r| r.class() == RelClass::P2c)
+            .count();
+        p2c as f64 / self.rels.len() as f64
+    }
+}
+
+/// A relationship classifier: observed paths in, labelled links out.
+pub trait Classifier {
+    /// Human-readable name (used in report tables).
+    fn name(&self) -> &'static str;
+
+    /// Runs the inference.
+    fn infer(&self, paths: &PathSet) -> Inference;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_and_share() {
+        let l1 = Link::new(Asn(1), Asn(2)).unwrap();
+        let l2 = Link::new(Asn(2), Asn(3)).unwrap();
+        let l3 = Link::new(Asn(3), Asn(4)).unwrap();
+        let mut inf = Inference {
+            classifier: "test".into(),
+            ..Default::default()
+        };
+        inf.rels.insert(l1, Rel::P2c { provider: Asn(1) });
+        inf.rels.insert(l2, Rel::P2c { provider: Asn(2) });
+        inf.rels.insert(l3, Rel::P2p);
+        assert_eq!(inf.len(), 3);
+        assert_eq!(inf.class_counts()[&RelClass::P2c], 2);
+        assert!((inf.p2c_share() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(inf.rel(l3), Some(Rel::P2p));
+        assert_eq!(inf.rel(Link::new(Asn(9), Asn(10)).unwrap()), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! End-to-end sanity: classifiers run on simulated paths must broadly agree
+//! with the ground truth, and must exhibit the paper's §6.1 failure mode on
+//! partial-transit links.
+
+use asgraph::{Link, Rel, RelClass};
+use asinfer::{AsRank, Classifier, GaoClassifier, ProbLink, TopoScope};
+use topogen::{generate, Topology, TopologyConfig};
+
+fn world() -> (Topology, asgraph::PathSet) {
+    let topo = generate(&TopologyConfig::small(2024));
+    let snap = bgpsim::simulate(&topo);
+    (topo, snap.to_pathset(false))
+}
+
+/// Accuracy of an inference against ground truth over observed links
+/// (sibling links excluded, orientation-sensitive for P2C).
+fn accuracy(topo: &Topology, inf: &asinfer::Inference) -> (f64, usize) {
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (link, rel) in &inf.rels {
+        let Some(gt) = topo.gt_rel(*link) else { continue };
+        if gt.base.class() == RelClass::S2s {
+            continue;
+        }
+        total += 1;
+        if gt.base == *rel {
+            correct += 1;
+        }
+    }
+    (correct as f64 / total.max(1) as f64, total)
+}
+
+#[test]
+fn all_classifiers_beat_90_percent_overall() {
+    let (topo, paths) = world();
+    for (name, inf) in [
+        ("asrank", AsRank::new().infer(&paths)),
+        ("problink", ProbLink::new().infer(&paths)),
+        ("toposcope", TopoScope::new().infer(&paths)),
+    ] {
+        let (acc, total) = accuracy(&topo, &inf);
+        assert!(total > 1000, "{name}: too few scored links ({total})");
+        assert!(acc > 0.90, "{name}: accuracy {acc:.3} below 0.90");
+    }
+}
+
+#[test]
+fn gao_is_weaker_but_not_random() {
+    let (topo, paths) = world();
+    let inf = GaoClassifier::new().infer(&paths);
+    let (acc, total) = accuracy(&topo, &inf);
+    assert!(total > 1000);
+    // Gao's 2001 heuristic predates dense IXP peering and per-prefix TE;
+    // on modern-shaped topologies its accuracy is genuinely poor (peering
+    // links voted into transit by the degree-apex rule).
+    assert!(acc > 0.45, "gao accuracy {acc:.3} suspiciously low");
+}
+
+#[test]
+fn asrank_clique_matches_ground_truth_tier1() {
+    let (topo, paths) = world();
+    let inf = AsRank::new().infer(&paths);
+    let hits = inf.clique.intersection(&topo.tier1).count();
+    assert!(
+        hits * 10 >= topo.tier1.len() * 7,
+        "clique {:?} misses ground truth {:?}",
+        inf.clique,
+        topo.tier1
+    );
+}
+
+#[test]
+fn partial_transit_links_get_misinferred_as_p2p() {
+    let (topo, paths) = world();
+    let inf = AsRank::new().infer(&paths);
+    // Cogent's partial-transit customer links that are visible: ASRank should
+    // call a large share of them P2P (no upward triplet exists).
+    let mut observed = 0usize;
+    let mut called_p2p = 0usize;
+    for (link, gt) in &topo.links {
+        if !gt.partial_transit || gt.base.provider() != Some(topo.cogent) {
+            continue;
+        }
+        let Some(rel) = inf.rel(*link) else { continue };
+        observed += 1;
+        if rel == Rel::P2p {
+            called_p2p += 1;
+        }
+    }
+    assert!(observed > 0, "no visible cogent partial-transit links");
+    assert!(
+        called_p2p * 2 >= observed,
+        "expected ≥50% of partial-transit links misinferred P2P, got {called_p2p}/{observed}"
+    );
+}
+
+#[test]
+fn special_stub_peerings_get_misinferred_as_p2c() {
+    let (topo, paths) = world();
+    let inf = AsRank::new().infer(&paths);
+    // Ground-truth P2P links between special stubs and Tier-1s: the stub
+    // heuristic claims them as P2C — the paper's S-T1 failure.
+    let mut observed = 0usize;
+    let mut wrong = 0usize;
+    for (link, gt) in &topo.links {
+        if gt.base != Rel::P2p {
+            continue;
+        }
+        let (a, b) = link.endpoints();
+        let special = |x| {
+            topo.info(x)
+                .map(|i| i.special.is_some() && i.tier == topogen::TierClass::Stub)
+                .unwrap_or(false)
+        };
+        let t1 = |x| topo.tier1.contains(&x);
+        if !((special(a) && t1(b)) || (special(b) && t1(a))) {
+            continue;
+        }
+        let Some(rel) = inf.rel(*link) else { continue };
+        observed += 1;
+        if rel.class() == RelClass::P2c {
+            wrong += 1;
+        }
+    }
+    assert!(observed > 5, "too few visible S-T1 peerings ({observed})");
+    assert!(
+        wrong * 3 >= observed * 2,
+        "expected most S-T1 peerings misinferred P2C, got {wrong}/{observed}"
+    );
+}
+
+#[test]
+fn near_perfect_p2c_inference() {
+    let (topo, paths) = world();
+    for inf in [
+        AsRank::new().infer(&paths),
+        ProbLink::new().infer(&paths),
+        TopoScope::new().infer(&paths),
+    ] {
+        let mut gt_p2c = 0usize;
+        let mut correct = 0usize;
+        for (link, rel) in &inf.rels {
+            let Some(gt) = topo.gt_rel(*link) else { continue };
+            if gt.base.class() != RelClass::P2c {
+                continue;
+            }
+            gt_p2c += 1;
+            if *rel == gt.base {
+                correct += 1;
+            }
+        }
+        let recall = correct as f64 / gt_p2c.max(1) as f64;
+        assert!(
+            recall > 0.85,
+            "{}: P2C recall {recall:.3} too low",
+            inf.classifier
+        );
+    }
+}

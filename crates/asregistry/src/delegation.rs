@@ -1,0 +1,295 @@
+//! The RIR *extended delegation file* format (the `delegated-<rir>-extended`
+//! files the paper pulls from each registry's FTP server).
+//!
+//! Format-faithful subset: version line, summary lines, and `asn` records
+//! (`registry|cc|asn|start|count|date|status|opaque-id`). Non-`asn` records
+//! (`ipv4`/`ipv6`) are tolerated and skipped, as the paper only consumes ASN
+//! delegations.
+
+use crate::error::RegistryError;
+use crate::region::RirRegion;
+use asgraph::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Status of a delegation record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelegationStatus {
+    /// Allocated to an LIR/ISP.
+    Allocated,
+    /// Assigned to an end user.
+    Assigned,
+    /// Available in the registry's free pool.
+    Available,
+    /// Reserved by the registry.
+    Reserved,
+}
+
+impl DelegationStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            DelegationStatus::Allocated => "allocated",
+            DelegationStatus::Assigned => "assigned",
+            DelegationStatus::Available => "available",
+            DelegationStatus::Reserved => "reserved",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "allocated" => Some(DelegationStatus::Allocated),
+            "assigned" => Some(DelegationStatus::Assigned),
+            "available" => Some(DelegationStatus::Available),
+            "reserved" => Some(DelegationStatus::Reserved),
+            _ => None,
+        }
+    }
+}
+
+/// One `asn` record of an extended delegation file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationRecord {
+    /// ISO-3166 country code (or `ZZ` for unknown).
+    pub cc: String,
+    /// First delegated ASN.
+    pub start: Asn,
+    /// Number of consecutive ASNs delegated.
+    pub count: u32,
+    /// Delegation date, `YYYYMMDD`.
+    pub date: String,
+    /// Record status.
+    pub status: DelegationStatus,
+    /// Registry-internal opaque holder id (same holder ⇒ same id).
+    pub opaque_id: String,
+}
+
+impl DelegationRecord {
+    /// Iterates the ASNs covered by this record.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        (self.start.0..self.start.0.saturating_add(self.count)).map(Asn)
+    }
+}
+
+/// An extended delegation file for one RIR on one day.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DelegationFile {
+    /// The publishing registry.
+    pub registry: RirRegion,
+    /// Publication date, `YYYYMMDD` (also used as the serial).
+    pub date: String,
+    /// The `asn` records.
+    pub records: Vec<DelegationRecord>,
+}
+
+impl DelegationFile {
+    /// Creates an empty file for `registry` dated `date`.
+    #[must_use]
+    pub fn new(registry: RirRegion, date: impl Into<String>) -> Self {
+        DelegationFile {
+            registry,
+            date: date.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Serialises to the extended delegation text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let reg = self.registry.registry_name();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "2|{reg}|{date}|{n}|19850701|{date}|+0000",
+            date = self.date,
+            n = self.records.len()
+        );
+        let _ = writeln!(out, "{reg}|*|asn|*|{}|summary", self.records.len());
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{reg}|{cc}|asn|{start}|{count}|{date}|{status}|{oid}",
+                cc = r.cc,
+                start = r.start.0,
+                count = r.count,
+                date = r.date,
+                status = r.status.as_str(),
+                oid = r.opaque_id
+            );
+        }
+        out
+    }
+
+    /// Parses the text format. Tolerates comment lines (`#`), version and
+    /// summary lines, and skips `ipv4`/`ipv6` records.
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let mut registry: Option<RirRegion> = None;
+        let mut date = String::new();
+        let mut records = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            // Version line: 2|registry|serial|records|startdate|enddate|UTCoff
+            if fields.first() == Some(&"2") {
+                if fields.len() < 7 {
+                    return Err(RegistryError::MalformedDelegationLine {
+                        line: line_no,
+                        reason: "short version line".into(),
+                    });
+                }
+                registry = Some(fields[1].parse().map_err(|e| {
+                    RegistryError::MalformedDelegationLine {
+                        line: line_no,
+                        reason: e,
+                    }
+                })?);
+                date = fields[2].to_owned();
+                continue;
+            }
+            // Summary line: registry|*|type|*|count|summary
+            if fields.len() == 6 && fields[5] == "summary" {
+                continue;
+            }
+            if fields.len() < 7 {
+                return Err(RegistryError::MalformedDelegationLine {
+                    line: line_no,
+                    reason: format!("expected ≥7 fields, got {}", fields.len()),
+                });
+            }
+            let rec_registry: RirRegion =
+                fields[0]
+                    .parse()
+                    .map_err(|e| RegistryError::MalformedDelegationLine {
+                        line: line_no,
+                        reason: e,
+                    })?;
+            if registry.is_none() {
+                registry = Some(rec_registry);
+            }
+            if fields[2] != "asn" {
+                continue; // ipv4 / ipv6 records are out of scope
+            }
+            let start: u32 =
+                fields[3]
+                    .parse()
+                    .map_err(|_| RegistryError::MalformedDelegationLine {
+                        line: line_no,
+                        reason: format!("bad start ASN {:?}", fields[3]),
+                    })?;
+            let count: u32 =
+                fields[4]
+                    .parse()
+                    .map_err(|_| RegistryError::MalformedDelegationLine {
+                        line: line_no,
+                        reason: format!("bad count {:?}", fields[4]),
+                    })?;
+            let status = DelegationStatus::parse(fields[6]).ok_or_else(|| {
+                RegistryError::MalformedDelegationLine {
+                    line: line_no,
+                    reason: format!("bad status {:?}", fields[6]),
+                }
+            })?;
+            records.push(DelegationRecord {
+                cc: fields[1].to_owned(),
+                start: Asn(start),
+                count,
+                date: fields[5].to_owned(),
+                status,
+                opaque_id: fields.get(7).copied().unwrap_or("").to_owned(),
+            });
+        }
+        let registry = registry.ok_or(RegistryError::MalformedDelegationLine {
+            line: 0,
+            reason: "no version or record line found".into(),
+        })?;
+        Ok(DelegationFile {
+            registry,
+            date,
+            records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DelegationFile {
+        let mut f = DelegationFile::new(RirRegion::Lacnic, "20180405");
+        f.records.push(DelegationRecord {
+            cc: "BR".into(),
+            start: Asn(52_000),
+            count: 4,
+            date: "20150102".into(),
+            status: DelegationStatus::Allocated,
+            opaque_id: "lacnic-br-0001".into(),
+        });
+        f.records.push(DelegationRecord {
+            cc: "AR".into(),
+            start: Asn(52_100),
+            count: 1,
+            date: "20160708".into(),
+            status: DelegationStatus::Assigned,
+            opaque_id: "lacnic-ar-0002".into(),
+        });
+        f
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let text = f.to_text();
+        assert!(text.starts_with("2|lacnic|20180405|2|"));
+        assert!(text.contains("lacnic|*|asn|*|2|summary"));
+        let parsed = DelegationFile::parse(&text).unwrap();
+        assert_eq!(f, parsed);
+    }
+
+    #[test]
+    fn record_asn_iteration() {
+        let f = sample();
+        let asns: Vec<Asn> = f.records[0].asns().collect();
+        assert_eq!(asns, vec![Asn(52000), Asn(52001), Asn(52002), Asn(52003)]);
+    }
+
+    #[test]
+    fn skips_ip_records() {
+        let text = "\
+2|ripencc|20180405|3|19850701|20180405|+0000
+ripencc|*|ipv4|*|1|summary
+ripencc|DE|ipv4|192.0.2.0|256|20100101|allocated|x
+ripencc|DE|asn|3320|1|19930101|allocated|dtag
+";
+        let f = DelegationFile::parse(text).unwrap();
+        assert_eq!(f.registry, RirRegion::RipeNcc);
+        assert_eq!(f.records.len(), 1);
+        assert_eq!(f.records[0].start, Asn(3320));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(DelegationFile::parse("").is_err());
+        assert!(DelegationFile::parse("2|nowhere|x|0|a|b|c\n").is_err());
+        let bad_status = "\
+2|arin|20180405|1|19850701|20180405|+0000
+arin|US|asn|1|1|19850101|stolen|x
+";
+        assert!(DelegationFile::parse(bad_status).is_err());
+        let bad_count = "\
+2|arin|20180405|1|19850701|20180405|+0000
+arin|US|asn|1|lots|19850101|allocated|x
+";
+        assert!(DelegationFile::parse(bad_count).is_err());
+    }
+
+    #[test]
+    fn parse_without_version_line_uses_record_registry() {
+        let text = "apnic|JP|asn|173|1|20020801|allocated|A918EDA1\n";
+        let f = DelegationFile::parse(text).unwrap();
+        assert_eq!(f.registry, RirRegion::Apnic);
+        assert_eq!(f.records.len(), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Registry parsing errors.
+
+use std::fmt;
+
+/// Errors raised while parsing registry data formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A delegation-file line had the wrong number of fields or bad values.
+    MalformedDelegationLine {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An IANA table line could not be parsed.
+    MalformedIanaLine {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// An AS2Org line could not be parsed.
+    MalformedOrgLine {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Overlapping ASN blocks in an IANA table.
+    OverlappingBlocks {
+        /// Start of the second (conflicting) block.
+        start: u32,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::MalformedDelegationLine { line, reason } => {
+                write!(f, "delegation file line {line}: {reason}")
+            }
+            RegistryError::MalformedIanaLine { line, reason } => {
+                write!(f, "IANA table line {line}: {reason}")
+            }
+            RegistryError::MalformedOrgLine { line, reason } => {
+                write!(f, "AS2Org line {line}: {reason}")
+            }
+            RegistryError::OverlappingBlocks { start } => {
+                write!(f, "overlapping IANA blocks at ASN {start}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}

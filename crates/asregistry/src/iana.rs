@@ -1,0 +1,250 @@
+//! IANA's list of initial ASN block assignments.
+//!
+//! IANA hands out ASN blocks to the RIRs; the paper bootstraps its ASN→region
+//! mapping from this table before refining with delegation files. We implement
+//! the table as ordered, non-overlapping blocks with a text serialisation
+//! modelled on the IANA registry CSV
+//! (`<first>-<last>,<authority>` per line, `#` comments).
+
+use crate::error::RegistryError;
+use crate::region::RirRegion;
+use asgraph::Asn;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Who an IANA ASN block is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockAuthority {
+    /// Assigned to an RIR for further delegation.
+    Rir(RirRegion),
+    /// Reserved by IANA (documentation, private use, special purpose).
+    Reserved,
+    /// Not yet allocated.
+    Unallocated,
+}
+
+impl BlockAuthority {
+    fn as_str(self) -> String {
+        match self {
+            BlockAuthority::Rir(r) => format!("Assigned by {}", r.registry_name()),
+            BlockAuthority::Reserved => "Reserved".to_owned(),
+            BlockAuthority::Unallocated => "Unallocated".to_owned(),
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("reserved") {
+            return Some(BlockAuthority::Reserved);
+        }
+        if s.eq_ignore_ascii_case("unallocated") {
+            return Some(BlockAuthority::Unallocated);
+        }
+        let name = s.strip_prefix("Assigned by ").or_else(|| s.strip_prefix("assigned by "))?;
+        name.parse::<RirRegion>().ok().map(BlockAuthority::Rir)
+    }
+}
+
+/// One contiguous ASN block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnBlock {
+    /// First ASN of the block (inclusive).
+    pub start: u32,
+    /// Last ASN of the block (inclusive).
+    pub end: u32,
+    /// The block's authority.
+    pub authority: BlockAuthority,
+}
+
+/// The IANA ASN assignment table: sorted, non-overlapping blocks.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IanaAsnTable {
+    blocks: Vec<AsnBlock>,
+}
+
+impl IanaAsnTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a block, enforcing order and non-overlap.
+    pub fn push_block(
+        &mut self,
+        start: u32,
+        end: u32,
+        authority: BlockAuthority,
+    ) -> Result<(), RegistryError> {
+        if start > end {
+            return Err(RegistryError::MalformedIanaLine {
+                line: 0,
+                reason: format!("block start {start} > end {end}"),
+            });
+        }
+        if let Some(last) = self.blocks.last() {
+            if start <= last.end {
+                return Err(RegistryError::OverlappingBlocks { start });
+            }
+        }
+        self.blocks.push(AsnBlock {
+            start,
+            end,
+            authority,
+        });
+        Ok(())
+    }
+
+    /// The blocks in ascending order.
+    #[must_use]
+    pub fn blocks(&self) -> &[AsnBlock] {
+        &self.blocks
+    }
+
+    /// Looks up the authority for `asn` (binary search).
+    #[must_use]
+    pub fn authority(&self, asn: Asn) -> Option<BlockAuthority> {
+        let idx = self
+            .blocks
+            .partition_point(|b| b.end < asn.0);
+        self.blocks.get(idx).and_then(|b| {
+            if b.start <= asn.0 && asn.0 <= b.end {
+                Some(b.authority)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// The region an ASN was initially assigned to, if it went to an RIR.
+    #[must_use]
+    pub fn initial_region(&self, asn: Asn) -> Option<RirRegion> {
+        match self.authority(asn)? {
+            BlockAuthority::Rir(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Serialises in the IANA-registry-like CSV form.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# Autonomous System (AS) Numbers\n# Range,Authority\n");
+        for b in &self.blocks {
+            let _ = writeln!(out, "{}-{},{}", b.start, b.end, b.authority.as_str());
+        }
+        out
+    }
+
+    /// Parses the CSV form produced by [`IanaAsnTable::to_text`].
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let mut table = IanaAsnTable::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (range, auth) =
+                line.split_once(',')
+                    .ok_or_else(|| RegistryError::MalformedIanaLine {
+                        line: line_no,
+                        reason: "missing ',' separator".into(),
+                    })?;
+            let (start, end) = match range.split_once('-') {
+                Some((s, e)) => (s.trim(), e.trim()),
+                None => (range.trim(), range.trim()),
+            };
+            let start: u32 = start.parse().map_err(|_| RegistryError::MalformedIanaLine {
+                line: line_no,
+                reason: format!("bad start {start:?}"),
+            })?;
+            let end: u32 = end.parse().map_err(|_| RegistryError::MalformedIanaLine {
+                line: line_no,
+                reason: format!("bad end {end:?}"),
+            })?;
+            let authority =
+                BlockAuthority::parse(auth).ok_or_else(|| RegistryError::MalformedIanaLine {
+                    line: line_no,
+                    reason: format!("bad authority {auth:?}"),
+                })?;
+            table.push_block(start, end, authority)?;
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IanaAsnTable {
+        let mut t = IanaAsnTable::new();
+        t.push_block(0, 0, BlockAuthority::Reserved).unwrap();
+        t.push_block(1, 1876, BlockAuthority::Rir(RirRegion::Arin))
+            .unwrap();
+        t.push_block(1877, 1901, BlockAuthority::Rir(RirRegion::RipeNcc))
+            .unwrap();
+        t.push_block(1902, 2042, BlockAuthority::Rir(RirRegion::Apnic))
+            .unwrap();
+        t.push_block(2043, 2043, BlockAuthority::Reserved).unwrap();
+        t.push_block(2044, 10000, BlockAuthority::Unallocated)
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn lookup_inside_blocks() {
+        let t = sample();
+        assert_eq!(
+            t.initial_region(Asn(100)),
+            Some(RirRegion::Arin)
+        );
+        assert_eq!(
+            t.initial_region(Asn(1880)),
+            Some(RirRegion::RipeNcc)
+        );
+        assert_eq!(t.initial_region(Asn(2043)), None);
+        assert_eq!(t.authority(Asn(2043)), Some(BlockAuthority::Reserved));
+        assert_eq!(t.authority(Asn(5000)), Some(BlockAuthority::Unallocated));
+        assert_eq!(t.authority(Asn(999_999)), None);
+    }
+
+    #[test]
+    fn boundary_lookup() {
+        let t = sample();
+        assert_eq!(t.initial_region(Asn(1)), Some(RirRegion::Arin));
+        assert_eq!(t.initial_region(Asn(1876)), Some(RirRegion::Arin));
+        assert_eq!(t.initial_region(Asn(1877)), Some(RirRegion::RipeNcc));
+    }
+
+    #[test]
+    fn rejects_overlap_and_inverted() {
+        let mut t = sample();
+        assert!(matches!(
+            t.push_block(9000, 9100, BlockAuthority::Reserved),
+            Err(RegistryError::OverlappingBlocks { .. })
+        ));
+        let mut t2 = IanaAsnTable::new();
+        assert!(t2.push_block(10, 5, BlockAuthority::Reserved).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let t = sample();
+        let text = t.to_text();
+        let parsed = IanaAsnTable::parse(&text).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(IanaAsnTable::parse("1-2\n").is_err());
+        assert!(IanaAsnTable::parse("a-b,Reserved\n").is_err());
+        assert!(IanaAsnTable::parse("1-2,Assigned by mars\n").is_err());
+        // Comments and blanks are fine.
+        assert!(IanaAsnTable::parse("# hi\n\n").unwrap().blocks().is_empty());
+        // Single-ASN form.
+        let t = IanaAsnTable::parse("7,Reserved\n").unwrap();
+        assert_eq!(t.authority(Asn(7)), Some(BlockAuthority::Reserved));
+    }
+}

@@ -1,0 +1,235 @@
+//! AS-to-Organisation dataset (CAIDA-style), used in §4.2 to identify sibling
+//! relationships: two ASes held by the same organisation form an S2S link that
+//! must be excluded from validation unless explicitly handled.
+//!
+//! Text format modelled on CAIDA's historical as2org dump:
+//!
+//! ```text
+//! # format: org_id|name|country
+//! @org-1|Example Carrier Inc.|US
+//! # format: aut|org_id
+//! 64500|@org-1
+//! ```
+
+use crate::error::RegistryError;
+use asgraph::{Asn, Link};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// An organisation identifier.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub String);
+
+/// Organisation metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrgInfo {
+    /// Display name.
+    pub name: String,
+    /// ISO-3166 country code.
+    pub country: String,
+}
+
+/// The AS-to-Organisation mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct As2Org {
+    orgs: BTreeMap<OrgId, OrgInfo>,
+    asn_to_org: BTreeMap<Asn, OrgId>,
+}
+
+impl As2Org {
+    /// An empty mapping.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an organisation.
+    pub fn add_org(&mut self, id: OrgId, name: impl Into<String>, country: impl Into<String>) {
+        self.orgs.insert(
+            id,
+            OrgInfo {
+                name: name.into(),
+                country: country.into(),
+            },
+        );
+    }
+
+    /// Maps an ASN to an organisation (the org need not be pre-registered).
+    pub fn assign(&mut self, asn: Asn, org: OrgId) {
+        self.asn_to_org.insert(asn, org);
+    }
+
+    /// The organisation of `asn`, if known.
+    #[must_use]
+    pub fn org_of(&self, asn: Asn) -> Option<&OrgId> {
+        self.asn_to_org.get(&asn)
+    }
+
+    /// Organisation metadata.
+    #[must_use]
+    pub fn org_info(&self, id: &OrgId) -> Option<&OrgInfo> {
+        self.orgs.get(id)
+    }
+
+    /// `true` if both endpoints of `link` belong to the same organisation —
+    /// i.e. the link is a sibling (S2S) link per §4.2.
+    #[must_use]
+    pub fn is_sibling_link(&self, link: Link) -> bool {
+        match (self.org_of(link.a()), self.org_of(link.b())) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// All ASes of `org`, sorted.
+    #[must_use]
+    pub fn members(&self, org: &OrgId) -> Vec<Asn> {
+        self.asn_to_org
+            .iter()
+            .filter(|(_, o)| *o == org)
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// All organisations with more than one AS (the only ones that can form
+    /// sibling links), sorted.
+    #[must_use]
+    pub fn multi_as_orgs(&self) -> Vec<OrgId> {
+        let mut counts: BTreeMap<&OrgId, usize> = BTreeMap::new();
+        for org in self.asn_to_org.values() {
+            *counts.entry(org).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|(_, c)| *c > 1)
+            .map(|(o, _)| o.clone())
+            .collect()
+    }
+
+    /// Number of mapped ASNs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.asn_to_org.len()
+    }
+
+    /// `true` if no ASNs are mapped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.asn_to_org.is_empty()
+    }
+
+    /// Serialises to the two-section text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# format: org_id|name|country\n");
+        for (id, info) in &self.orgs {
+            let _ = writeln!(out, "{}|{}|{}", id.0, info.name, info.country);
+        }
+        out.push_str("# format: aut|org_id\n");
+        for (asn, org) in &self.asn_to_org {
+            let _ = writeln!(out, "{}|{}", asn.0, org.0);
+        }
+        out
+    }
+
+    /// Parses the text format. Section membership is inferred per line: a line
+    /// whose first field parses as a u32 is an `aut` line, otherwise an org
+    /// line.
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let mut out = As2Org::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            if let Ok(asn) = fields[0].parse::<u32>() {
+                if fields.len() < 2 {
+                    return Err(RegistryError::MalformedOrgLine {
+                        line: line_no,
+                        reason: "aut line missing org_id".into(),
+                    });
+                }
+                out.assign(Asn(asn), OrgId(fields[1].to_owned()));
+            } else {
+                if fields.len() < 3 {
+                    return Err(RegistryError::MalformedOrgLine {
+                        line: line_no,
+                        reason: "org line needs org_id|name|country".into(),
+                    });
+                }
+                out.add_org(OrgId(fields[0].to_owned()), fields[1], fields[2]);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sibling ASN groups: one sorted set per multi-AS organisation.
+    #[must_use]
+    pub fn sibling_groups(&self) -> Vec<BTreeSet<Asn>> {
+        self.multi_as_orgs()
+            .iter()
+            .map(|org| self.members(org).into_iter().collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> As2Org {
+        let mut m = As2Org::new();
+        m.add_org(OrgId("@carrier".into()), "Example Carrier", "US");
+        m.add_org(OrgId("@single".into()), "Lone AS Org", "DE");
+        m.assign(Asn(100), OrgId("@carrier".into()));
+        m.assign(Asn(101), OrgId("@carrier".into()));
+        m.assign(Asn(200), OrgId("@single".into()));
+        m
+    }
+
+    #[test]
+    fn sibling_detection() {
+        let m = sample();
+        assert!(m.is_sibling_link(Link::new(Asn(100), Asn(101)).unwrap()));
+        assert!(!m.is_sibling_link(Link::new(Asn(100), Asn(200)).unwrap()));
+        assert!(!m.is_sibling_link(Link::new(Asn(100), Asn(999)).unwrap()));
+    }
+
+    #[test]
+    fn members_and_multi_orgs() {
+        let m = sample();
+        assert_eq!(
+            m.members(&OrgId("@carrier".into())),
+            vec![Asn(100), Asn(101)]
+        );
+        assert_eq!(m.multi_as_orgs(), vec![OrgId("@carrier".into())]);
+        assert_eq!(m.sibling_groups().len(), 1);
+        assert_eq!(m.sibling_groups()[0].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let parsed = As2Org::parse(&m.to_text()).unwrap();
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(As2Org::parse("100\n").is_err());
+        assert!(As2Org::parse("@org|name-only\n").is_err());
+        assert!(As2Org::parse("# comment only\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn org_info_lookup() {
+        let m = sample();
+        let info = m.org_info(&OrgId("@carrier".into())).unwrap();
+        assert_eq!(info.name, "Example Carrier");
+        assert_eq!(info.country, "US");
+        assert!(m.org_info(&OrgId("@nope".into())).is_none());
+    }
+}

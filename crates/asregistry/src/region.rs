@@ -1,0 +1,138 @@
+//! The five Regional Internet Registries and their service regions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A Regional Internet Registry (service region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RirRegion {
+    /// AFRINIC — Africa.
+    Afrinic,
+    /// APNIC — Asia-Pacific.
+    Apnic,
+    /// ARIN — North America.
+    Arin,
+    /// LACNIC — Latin America and the Caribbean.
+    Lacnic,
+    /// RIPE NCC — Europe, Middle East, Central Asia.
+    RipeNcc,
+}
+
+impl RirRegion {
+    /// All regions in the paper's lexicographic abbreviation order
+    /// (AF, AP, AR, L, R).
+    pub const ALL: [RirRegion; 5] = [
+        RirRegion::Afrinic,
+        RirRegion::Apnic,
+        RirRegion::Arin,
+        RirRegion::Lacnic,
+        RirRegion::RipeNcc,
+    ];
+
+    /// The paper's abbreviation: AF, AP, AR, L, R.
+    #[must_use]
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            RirRegion::Afrinic => "AF",
+            RirRegion::Apnic => "AP",
+            RirRegion::Arin => "AR",
+            RirRegion::Lacnic => "L",
+            RirRegion::RipeNcc => "R",
+        }
+    }
+
+    /// The registry name as used in delegation files.
+    #[must_use]
+    pub fn registry_name(self) -> &'static str {
+        match self {
+            RirRegion::Afrinic => "afrinic",
+            RirRegion::Apnic => "apnic",
+            RirRegion::Arin => "arin",
+            RirRegion::Lacnic => "lacnic",
+            RirRegion::RipeNcc => "ripencc",
+        }
+    }
+
+    /// A representative set of ISO-3166 country codes per service region,
+    /// used by the topology generator when emitting delegation records.
+    #[must_use]
+    pub fn country_codes(self) -> &'static [&'static str] {
+        match self {
+            RirRegion::Afrinic => &["ZA", "NG", "KE", "EG", "MA", "GH", "TZ"],
+            RirRegion::Apnic => &["CN", "JP", "IN", "AU", "KR", "SG", "ID", "NZ"],
+            RirRegion::Arin => &["US", "CA", "AG", "BS"],
+            RirRegion::Lacnic => &["BR", "AR", "CL", "MX", "CO", "PE", "EC", "UY"],
+            RirRegion::RipeNcc => &["DE", "FR", "GB", "NL", "RU", "IT", "SE", "PL", "ES", "CH"],
+        }
+    }
+
+    /// Resolves an ISO-3166 country code to its service region, for the codes
+    /// covered by [`RirRegion::country_codes`].
+    #[must_use]
+    pub fn from_country(cc: &str) -> Option<RirRegion> {
+        RirRegion::ALL
+            .into_iter()
+            .find(|r| r.country_codes().contains(&cc))
+    }
+}
+
+impl fmt::Display for RirRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.registry_name())
+    }
+}
+
+impl FromStr for RirRegion {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "afrinic" | "af" => Ok(RirRegion::Afrinic),
+            "apnic" | "ap" => Ok(RirRegion::Apnic),
+            "arin" | "ar" => Ok(RirRegion::Arin),
+            "lacnic" | "l" => Ok(RirRegion::Lacnic),
+            "ripencc" | "ripe" | "ripe-ncc" | "r" => Ok(RirRegion::RipeNcc),
+            other => Err(format!("unknown RIR: {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrevs_match_paper() {
+        assert_eq!(RirRegion::Afrinic.abbrev(), "AF");
+        assert_eq!(RirRegion::Apnic.abbrev(), "AP");
+        assert_eq!(RirRegion::Arin.abbrev(), "AR");
+        assert_eq!(RirRegion::Lacnic.abbrev(), "L");
+        assert_eq!(RirRegion::RipeNcc.abbrev(), "R");
+    }
+
+    #[test]
+    fn roundtrip_names() {
+        for r in RirRegion::ALL {
+            assert_eq!(r.registry_name().parse::<RirRegion>().unwrap(), r);
+            assert_eq!(r.abbrev().parse::<RirRegion>().unwrap(), r);
+        }
+        assert!("mars".parse::<RirRegion>().is_err());
+    }
+
+    #[test]
+    fn country_lookup() {
+        assert_eq!(RirRegion::from_country("BR"), Some(RirRegion::Lacnic));
+        assert_eq!(RirRegion::from_country("DE"), Some(RirRegion::RipeNcc));
+        assert_eq!(RirRegion::from_country("US"), Some(RirRegion::Arin));
+        assert_eq!(RirRegion::from_country("XX"), None);
+    }
+
+    #[test]
+    fn all_is_lexicographic_by_abbrev() {
+        let abbrevs: Vec<_> = RirRegion::ALL.iter().map(|r| r.abbrev()).collect();
+        let mut sorted = abbrevs.clone();
+        sorted.sort();
+        assert_eq!(abbrevs, sorted);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests: registry text formats round-trip and never panic on
+//! arbitrary input.
+
+use asgraph::Asn;
+use asregistry::{
+    delegation::{DelegationFile, DelegationRecord, DelegationStatus},
+    iana::{BlockAuthority, IanaAsnTable},
+    org::{As2Org, OrgId},
+    RegionMap, RirRegion,
+};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = RirRegion> {
+    prop::sample::select(RirRegion::ALL.to_vec())
+}
+
+fn arb_status() -> impl Strategy<Value = DelegationStatus> {
+    prop::sample::select(vec![
+        DelegationStatus::Allocated,
+        DelegationStatus::Assigned,
+        DelegationStatus::Available,
+        DelegationStatus::Reserved,
+    ])
+}
+
+fn arb_record() -> impl Strategy<Value = DelegationRecord> {
+    (
+        arb_region(),
+        1u32..400_000,
+        1u32..8,
+        arb_status(),
+        "[a-z0-9]{4,12}",
+    )
+        .prop_map(|(region, start, count, status, oid)| DelegationRecord {
+            cc: region.country_codes()[0].to_owned(),
+            start: Asn(start),
+            count,
+            date: "20180405".into(),
+            status,
+            opaque_id: oid,
+        })
+}
+
+proptest! {
+    /// Delegation files round-trip through their text form.
+    #[test]
+    fn delegation_roundtrip(
+        region in arb_region(),
+        records in prop::collection::vec(arb_record(), 0..20),
+    ) {
+        let mut f = DelegationFile::new(region, "20180405");
+        f.records = records;
+        let parsed = DelegationFile::parse(&f.to_text()).unwrap();
+        prop_assert_eq!(f, parsed);
+    }
+
+    /// The delegation parser never panics on arbitrary text.
+    #[test]
+    fn delegation_parse_never_panics(text in "\\PC*") {
+        let _ = DelegationFile::parse(&text);
+    }
+
+    /// The IANA parser never panics on arbitrary text.
+    #[test]
+    fn iana_parse_never_panics(text in "\\PC*") {
+        let _ = IanaAsnTable::parse(&text);
+    }
+
+    /// The AS2Org parser never panics on arbitrary text, and round-trips.
+    #[test]
+    fn org_roundtrip(
+        assignments in prop::collection::btree_map(1u32..100_000, "[a-z]{1,6}", 0..30)
+    ) {
+        let mut m = As2Org::new();
+        for (asn, org) in &assignments {
+            m.assign(Asn(*asn), OrgId(format!("@{org}")));
+        }
+        let parsed = As2Org::parse(&m.to_text()).unwrap();
+        prop_assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn org_parse_never_panics(text in "\\PC*") {
+        let _ = As2Org::parse(&text);
+    }
+
+    /// Region lookups obey the delegation-over-IANA precedence: any ASN with
+    /// an allocated/assigned delegation record maps to the delegating RIR.
+    #[test]
+    fn delegation_overrides_iana(
+        region in arb_region(),
+        records in prop::collection::vec(arb_record(), 1..10),
+    ) {
+        let mut iana = IanaAsnTable::new();
+        iana.push_block(1, 500_000, BlockAuthority::Rir(RirRegion::Arin)).unwrap();
+        let mut f = DelegationFile::new(region, "20180405");
+        f.records = records.clone();
+        let map = RegionMap::build(iana, &[f]);
+        for r in &records {
+            let in_use = matches!(
+                r.status,
+                DelegationStatus::Allocated | DelegationStatus::Assigned
+            );
+            if in_use {
+                for asn in r.asns() {
+                    // Reserved ASNs never map to a region, even if a (bogus)
+                    // delegation record covers them.
+                    let expected = if asn.is_reserved() { None } else { Some(region) };
+                    prop_assert_eq!(map.region(asn), expected);
+                }
+            }
+        }
+    }
+}

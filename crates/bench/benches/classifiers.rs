@@ -1,0 +1,54 @@
+//! Classifier benchmarks: each inference algorithm over the same observed
+//! path set (small scenario; the experiment harness runs paper scale).
+
+use asinfer::{AsRank, Classifier, GaoClassifier, ProbLink, TopoScope, Unari};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_classifiers(c: &mut Criterion) {
+    let topo = topogen::generate(&topogen::TopologyConfig::small(7));
+    let snap = bgpsim::simulate(&topo);
+    let paths = snap.to_pathset(false);
+
+    let mut group = c.benchmark_group("classifiers");
+    group.sample_size(10);
+    group.bench_function("gao", |b| {
+        b.iter(|| std::hint::black_box(GaoClassifier::new().infer(&paths)))
+    });
+    group.bench_function("asrank", |b| {
+        b.iter(|| std::hint::black_box(AsRank::new().infer(&paths)))
+    });
+    group.bench_function("problink", |b| {
+        b.iter(|| std::hint::black_box(ProbLink::new().infer(&paths)))
+    });
+    group.bench_function("toposcope", |b| {
+        b.iter(|| std::hint::black_box(TopoScope::new().infer(&paths)))
+    });
+    group.bench_function("unari", |b| {
+        b.iter(|| std::hint::black_box(Unari::new().infer(&paths)))
+    });
+    group.finish();
+
+    // Shared sub-stages.
+    let clean = paths.sanitized();
+    let mut group = c.benchmark_group("classifier_stages");
+    group.sample_size(20);
+    group.bench_function("sanitize", |b| {
+        b.iter(|| std::hint::black_box(paths.sanitized()))
+    });
+    group.bench_function("path_stats", |b| {
+        b.iter(|| std::hint::black_box(clean.stats()))
+    });
+    let stats = clean.stats();
+    group.bench_function("clique_inference", |b| {
+        b.iter(|| {
+            std::hint::black_box(asgraph::clique::infer_clique(
+                &stats,
+                asgraph::clique::CliqueParams::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

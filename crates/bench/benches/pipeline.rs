@@ -1,0 +1,91 @@
+//! End-to-end pipeline benchmarks — one per experiment stage and one per
+//! paper artefact family (the experiment harness binary regenerates the
+//! actual tables/figures; these measure how long each regeneration costs).
+
+use breval_core::pipeline::HeatmapMetric;
+use breval_core::sampling::{sampling_sweep, SamplingConfig};
+use breval_core::{Scenario, ScenarioConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_stages(c: &mut Criterion) {
+    let cfg = topogen::TopologyConfig::small(7);
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("topology_generation", |b| {
+        b.iter(|| std::hint::black_box(topogen::generate(&cfg)))
+    });
+
+    let topo = topogen::generate(&cfg);
+    group.bench_function("route_propagation_full_mesh", |b| {
+        b.iter(|| std::hint::black_box(bgpsim::simulate(&topo)))
+    });
+
+    let snap = bgpsim::simulate(&topo);
+    let vcfg = valdata::ValDataConfig::default();
+    group.bench_function("validation_compilation", |b| {
+        b.iter(|| std::hint::black_box(valdata::compile_all(&topo, &snap, &vcfg)))
+    });
+
+    let raw = valdata::compile_all(&topo, &snap, &vcfg);
+    let org = topo.as2org();
+    group.bench_function("cleaning", |b| {
+        b.iter(|| {
+            std::hint::black_box(breval_core::cleaning::clean(
+                &raw,
+                &org,
+                &breval_core::CleaningConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    // One scenario, reused: the figure benches measure the analysis cost,
+    // not the simulation cost.
+    let scenario = Scenario::run(ScenarioConfig::small(7));
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig1_regional_coverage", |b| {
+        b.iter(|| std::hint::black_box(scenario.fig1()))
+    });
+    group.bench_function("fig2_topological_coverage", |b| {
+        b.iter(|| std::hint::black_box(scenario.fig2()))
+    });
+    group.bench_function("fig3_transit_degree_heatmap", |b| {
+        b.iter(|| std::hint::black_box(scenario.heatmaps(HeatmapMetric::TransitDegree)))
+    });
+    group.bench_function("fig7_ppdc_heatmap", |b| {
+        b.iter(|| std::hint::black_box(scenario.heatmaps(HeatmapMetric::Ppdc)))
+    });
+    group.bench_function("fig8_ppdc_no_vp_heatmap", |b| {
+        b.iter(|| std::hint::black_box(scenario.heatmaps(HeatmapMetric::PpdcNoVp)))
+    });
+    group.bench_function("fig9_node_degree_heatmap", |b| {
+        b.iter(|| std::hint::black_box(scenario.heatmaps(HeatmapMetric::NodeDegree)))
+    });
+    group.bench_function("table1_eval_asrank", |b| {
+        b.iter(|| std::hint::black_box(scenario.eval_table("asrank")))
+    });
+    group.bench_function("table2_eval_problink", |b| {
+        b.iter(|| std::hint::black_box(scenario.eval_table("problink")))
+    });
+    group.bench_function("table3_eval_toposcope", |b| {
+        b.iter(|| std::hint::black_box(scenario.eval_table("toposcope")))
+    });
+    let scored = scenario.scored_in_class("asrank", "T1-TR");
+    let sampling_cfg = SamplingConfig {
+        trials: 20,
+        step: 7,
+        ..SamplingConfig::default()
+    };
+    group.bench_function("fig456_sampling_sweep", |b| {
+        b.iter(|| std::hint::black_box(sampling_sweep(&scored, &sampling_cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Wire-format benchmarks: BGP UPDATE and MRT TABLE_DUMP_V2 codec throughput.
+
+use asgraph::Asn;
+use bgpwire::{AsnEncoding, Community, Ipv4Prefix, UpdateMessage};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn sample_update() -> UpdateMessage {
+    UpdateMessage::announcement(
+        vec![
+            Ipv4Prefix::new(0xC000_0200, 24).unwrap(),
+            Ipv4Prefix::new(0xC633_6400, 24).unwrap(),
+        ],
+        vec![Asn(3356), Asn(200_100), Asn(64_499), Asn(7018)],
+        vec![Community::new(3356, 100), Community::new(174, 990)],
+    )
+}
+
+fn bench_update_codec(c: &mut Criterion) {
+    let msg = sample_update();
+    let bytes4 = msg.encode(AsnEncoding::FourByte);
+    let bytes2 = msg.encode(AsnEncoding::TwoByte);
+
+    let mut group = c.benchmark_group("bgp_update");
+    group.throughput(Throughput::Bytes(bytes4.len() as u64));
+    group.bench_function("encode_4byte", |b| {
+        b.iter(|| std::hint::black_box(msg.encode(AsnEncoding::FourByte)))
+    });
+    group.bench_function("encode_2byte_with_as4path", |b| {
+        b.iter(|| std::hint::black_box(msg.encode(AsnEncoding::TwoByte)))
+    });
+    group.bench_function("decode_4byte", |b| {
+        b.iter(|| {
+            let mut slice = &bytes4[..];
+            std::hint::black_box(UpdateMessage::decode(&mut slice, AsnEncoding::FourByte).unwrap())
+        })
+    });
+    group.bench_function("decode_2byte_reconstruct", |b| {
+        b.iter(|| {
+            let mut slice = &bytes2[..];
+            let msg = UpdateMessage::decode(&mut slice, AsnEncoding::TwoByte).unwrap();
+            std::hint::black_box(msg.as_path())
+        })
+    });
+    group.finish();
+}
+
+fn bench_mrt_dump(c: &mut Criterion) {
+    // A realistic small dump via the full pipeline.
+    let topo = topogen::generate(&topogen::TopologyConfig::small(7));
+    let snap = bgpsim::simulate(&topo);
+    let bytes = snap.to_mrt(&topo);
+
+    let mut group = c.benchmark_group("mrt");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("write_dump", |b| {
+        b.iter(|| std::hint::black_box(snap.to_mrt(&topo)))
+    });
+    group.bench_function("read_dump_modern", |b| {
+        b.iter(|| std::hint::black_box(bgpsim::snapshot::pathset_from_mrt(&bytes, true).unwrap()))
+    });
+    group.bench_function("read_dump_legacy", |b| {
+        b.iter_batched(
+            || bytes.clone(),
+            |bytes| {
+                std::hint::black_box(bgpsim::snapshot::pathset_from_mrt(&bytes, false).unwrap())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_codec, bench_mrt_dump);
+criterion_main!(benches);

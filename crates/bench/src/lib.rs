@@ -1,0 +1,29 @@
+//! Shared experiment plumbing for the `experiments` binary and the criterion
+//! benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use breval_core::{Scenario, ScenarioConfig};
+use std::path::Path;
+
+/// Runs (or reuses) the default paper-scale scenario.
+#[must_use]
+pub fn default_scenario() -> Scenario {
+    Scenario::run(ScenarioConfig::default())
+}
+
+/// Runs the small test-scale scenario.
+#[must_use]
+pub fn small_scenario(seed: u64) -> Scenario {
+    Scenario::run(ScenarioConfig::small(seed))
+}
+
+/// Writes `content` under `results/<name>`, creating directories as needed.
+pub fn write_result(dir: &Path, name: &str, content: &str) -> std::io::Result<()> {
+    let path = dir.join(name);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}

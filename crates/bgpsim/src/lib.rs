@@ -1,0 +1,40 @@
+//! # bgpsim — BGP route propagation substrate
+//!
+//! Simulates interdomain routing over a [`topogen::Topology`] under the
+//! Gao–Rexford model:
+//!
+//! * route preference: customer-learned > peer-learned > provider-learned,
+//!   then shortest AS path, then lowest next-hop ASN;
+//! * selective export: routes learned from customers (or originated) are
+//!   exported everywhere; routes learned from peers/providers are exported to
+//!   customers only;
+//! * **community-scoped export**: a partial-transit customer tags its routes
+//!   with its provider's `…:990` action community, which stops the provider
+//!   from exporting them to its peers and providers (the §6.1 Cogent
+//!   mechanism) — the tag itself is stripped before further redistribution,
+//!   so it is visible in the provider's own RIB (looking glass) but not at
+//!   route collectors;
+//! * sibling (S2S) links exchange all routes in both directions;
+//! * path prepending on upward/lateral exports for ASes with the habit
+//!   (region-dependent, after Marcos et al. 2020).
+//!
+//! The output is a [`RibSnapshot`]: the routes observed at each collector-peer
+//! vantage point, exportable to real MRT `TABLE_DUMP_V2` bytes via `bgpwire`
+//! and to the [`asgraph::PathSet`] the inference algorithms consume. A
+//! [`LookingGlass`] answers per-AS RIB queries for the case study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod communities;
+pub mod lg;
+pub mod propagate;
+pub mod simgraph;
+pub mod snapshot;
+
+pub use collector::{establish_sessions, EstablishedSession};
+pub use lg::{LgRoute, LookingGlass};
+pub use propagate::{OriginRoutes, Propagator, RouteClass};
+pub use simgraph::SimGraph;
+pub use snapshot::{simulate, RibSnapshot, RouteObservation};

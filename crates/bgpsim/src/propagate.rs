@@ -1,0 +1,575 @@
+//! Per-origin Gao–Rexford route propagation.
+//!
+//! Three phases, each a deterministic bucket-queue Dijkstra over unit(ish)
+//! weights (prepending adds 2):
+//!
+//! 1. **up**: the origin's route climbs customer→provider and sibling edges
+//!    (customer-class routes). Partial-transit edges mark the route *scoped*
+//!    at the provider: it is used and exported downward but never upward or
+//!    laterally.
+//! 2. **across**: every unscoped customer-class holder exports to its peers
+//!    (one peer hop, peer-class routes).
+//! 3. **down**: every route holder exports to customers (and siblings),
+//!    provider-class routes flooding the customer cones.
+//!
+//! Route selection: class (customer < peer < provider), then path length,
+//! then lowest next-hop ASN — the standard simulation tie-break.
+
+use crate::simgraph::SimGraph;
+use asgraph::Asn;
+use serde::{Deserialize, Serialize};
+
+/// How a route was learned, in preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RouteClass {
+    /// Originated by the AS itself, or learned from a customer/sibling chain.
+    Customer,
+    /// Learned from a settlement-free peer.
+    Peer,
+    /// Learned from a transit provider.
+    Provider,
+}
+
+const CLASS_NONE: u8 = u8::MAX;
+const NO_PARENT: u32 = u32::MAX;
+
+/// Routing outcome of one origin's announcement: per-node best route as a
+/// parent-pointer forest.
+#[derive(Debug, Clone)]
+pub struct OriginRoutes {
+    origin: u32,
+    class: Vec<u8>,
+    len: Vec<u16>,
+    parent: Vec<u32>,
+    scoped: Vec<bool>,
+    prepended: Vec<bool>,
+}
+
+impl OriginRoutes {
+    /// The origin node id.
+    #[must_use]
+    pub fn origin(&self) -> u32 {
+        self.origin
+    }
+
+    /// `true` if `node` has a route to the origin.
+    #[must_use]
+    pub fn has_route(&self, node: u32) -> bool {
+        self.class[node as usize] != CLASS_NONE
+    }
+
+    /// The class of `node`'s best route.
+    #[must_use]
+    pub fn class(&self, node: u32) -> Option<RouteClass> {
+        match self.class[node as usize] {
+            0 => Some(RouteClass::Customer),
+            1 => Some(RouteClass::Peer),
+            2 => Some(RouteClass::Provider),
+            _ => None,
+        }
+    }
+
+    /// `true` if `node`'s best route is scoped by a partial-transit tag.
+    #[must_use]
+    pub fn scoped(&self, node: u32) -> bool {
+        self.scoped[node as usize]
+    }
+
+    /// AS-path length of `node`'s best route (prepending included).
+    #[must_use]
+    pub fn path_len(&self, node: u32) -> Option<u16> {
+        self.has_route(node).then(|| self.len[node as usize])
+    }
+
+    /// Reconstructs `node`'s AS path, node first and origin last, with
+    /// prepending expanded. Returns `None` if `node` has no route.
+    #[must_use]
+    pub fn path(&self, node: u32, g: &SimGraph) -> Option<Vec<Asn>> {
+        if !self.has_route(node) {
+            return None;
+        }
+        let mut hops = Vec::with_capacity(usize::from(self.len[node as usize]) + 1);
+        let mut cur = node;
+        loop {
+            hops.push(g.asn(cur));
+            let parent = self.parent[cur as usize];
+            if parent == NO_PARENT || cur == self.origin {
+                break;
+            }
+            if self.prepended[cur as usize] {
+                // The exporter (parent) prepended itself twice.
+                hops.push(g.asn(parent));
+                hops.push(g.asn(parent));
+            }
+            cur = parent;
+        }
+        Some(hops)
+    }
+
+    /// Count of nodes holding a route.
+    #[must_use]
+    pub fn reached(&self) -> usize {
+        self.class.iter().filter(|c| **c != CLASS_NONE).count()
+    }
+}
+
+/// Candidate route during relaxation.
+#[derive(Clone, Copy)]
+struct Candidate {
+    node: u32,
+    len: u16,
+    parent: u32,
+    scoped: bool,
+    #[allow(dead_code)] // reconstructed paths read the per-node flag instead
+    prepended: bool,
+}
+
+/// Deterministic bucket queue keyed by path length.
+struct BucketQueue {
+    buckets: Vec<Vec<Candidate>>,
+    cursor: usize,
+}
+
+impl BucketQueue {
+    fn new() -> Self {
+        BucketQueue {
+            buckets: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    fn push(&mut self, c: Candidate) {
+        let len = usize::from(c.len);
+        if self.buckets.len() <= len {
+            self.buckets.resize_with(len + 1, Vec::new);
+        }
+        self.buckets[len].push(c);
+    }
+
+    fn pop(&mut self) -> Option<Candidate> {
+        while self.cursor < self.buckets.len() {
+            if let Some(c) = self.buckets[self.cursor].pop() {
+                return Some(c);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+}
+
+/// The propagation engine; borrow once, run per origin.
+#[derive(Debug, Clone, Copy)]
+pub struct Propagator<'g> {
+    g: &'g SimGraph,
+}
+
+impl<'g> Propagator<'g> {
+    /// Creates an engine over `g`.
+    #[must_use]
+    pub fn new(g: &'g SimGraph) -> Self {
+        Propagator { g }
+    }
+
+    /// Runs full propagation of `origin`'s announcement.
+    #[must_use]
+    pub fn propagate(&self, origin: u32) -> OriginRoutes {
+        self.propagate_masked(origin, None)
+    }
+
+    /// Like [`Propagator::propagate`], but when `allowed_provider` is `Some`,
+    /// the origin announces to that provider only (per-prefix traffic
+    /// engineering). Peers, siblings and everything downstream are
+    /// unaffected — only the origin's own provider announcements are scoped.
+    #[must_use]
+    pub fn propagate_masked(&self, origin: u32, allowed_provider: Option<u32>) -> OriginRoutes {
+        let n = self.g.len();
+        let mut r = OriginRoutes {
+            origin,
+            class: vec![CLASS_NONE; n],
+            len: vec![u16::MAX; n],
+            parent: vec![NO_PARENT; n],
+            scoped: vec![false; n],
+            prepended: vec![false; n],
+        };
+        let g = self.g;
+
+        // `better`: does candidate (len, parent) beat node's stored route of
+        // the same class? Equal lengths are broken by the node's own
+        // deterministic next-hop preference (per-router diversity).
+        let better = |r: &OriginRoutes, node: u32, len: u16, parent: u32| -> bool {
+            let i = node as usize;
+            len < r.len[i]
+                || (len == r.len[i]
+                    && r.parent[i] != NO_PARENT
+                    && g.tie_pref(node, parent, origin) < g.tie_pref(node, r.parent[i], origin))
+        };
+
+        // ---- Phase 1: customer routes climb up ------------------------------
+        r.class[origin as usize] = 0;
+        r.len[origin as usize] = 0;
+        r.parent[origin as usize] = NO_PARENT;
+        let mut q = BucketQueue::new();
+        let mut done = vec![false; n];
+        q.push(Candidate {
+            node: origin,
+            len: 0,
+            parent: NO_PARENT,
+            scoped: false,
+            prepended: false,
+        });
+        while let Some(c) = q.pop() {
+            let i = c.node as usize;
+            if done[i] || r.len[i] != c.len || r.parent[i] != c.parent {
+                continue; // stale entry
+            }
+            done[i] = true;
+            if r.scoped[i] {
+                continue; // scoped routes never propagate upward
+            }
+            let prepend = g.prepends(c.node);
+            let weight: u16 = if prepend { 3 } else { 1 };
+            for &(provider, partial) in g.providers(c.node) {
+                if c.node == origin {
+                    if let Some(allowed) = allowed_provider {
+                        if provider != allowed {
+                            continue;
+                        }
+                    }
+                }
+                let cand_len = c.len.saturating_add(weight);
+                if r.class[provider as usize] == 0 && !better(&r, provider, cand_len, c.node) {
+                    continue;
+                }
+                if r.class[provider as usize] == 0 && done[provider as usize] {
+                    continue;
+                }
+                r.class[provider as usize] = 0;
+                r.len[provider as usize] = cand_len;
+                r.parent[provider as usize] = c.node;
+                r.scoped[provider as usize] = partial;
+                r.prepended[provider as usize] = prepend;
+                q.push(Candidate {
+                    node: provider,
+                    len: cand_len,
+                    parent: c.node,
+                    scoped: partial,
+                    prepended: prepend,
+                });
+            }
+            // Siblings exchange everything; sibling-learned stays customer
+            // class and unscoped links keep climbing.
+            for &sib in g.siblings(c.node) {
+                let cand_len = c.len.saturating_add(1);
+                if r.class[sib as usize] == 0
+                    && (done[sib as usize] || !better(&r, sib, cand_len, c.node))
+                {
+                    continue;
+                }
+                r.class[sib as usize] = 0;
+                r.len[sib as usize] = cand_len;
+                r.parent[sib as usize] = c.node;
+                r.scoped[sib as usize] = c.scoped;
+                r.prepended[sib as usize] = false;
+                q.push(Candidate {
+                    node: sib,
+                    len: cand_len,
+                    parent: c.node,
+                    scoped: c.scoped,
+                    prepended: false,
+                });
+            }
+        }
+
+        // ---- Phase 2: one peer hop -------------------------------------------
+        // Holders of unscoped customer-class routes export to peers. A
+        // TE-pinned announcement is scoped to the chosen provider: the origin
+        // itself does not announce it to its peers.
+        let holders: Vec<u32> = (0..n as u32)
+            .filter(|&i| {
+                r.class[i as usize] == 0
+                    && !r.scoped[i as usize]
+                    && !(i == origin && allowed_provider.is_some())
+            })
+            .collect();
+        for &u in &holders {
+            let prepend = g.prepends(u);
+            let weight: u16 = if prepend { 3 } else { 1 };
+            let cand_len = r.len[u as usize].saturating_add(weight);
+            for &v in g.peers(u) {
+                let vi = v as usize;
+                match r.class[vi] {
+                    0 => {} // customer route is strictly better
+                    1 => {
+                        if better(&r, v, cand_len, u) {
+                            r.len[vi] = cand_len;
+                            r.parent[vi] = u;
+                            r.prepended[vi] = prepend;
+                        }
+                    }
+                    _ => {
+                        r.class[vi] = 1;
+                        r.len[vi] = cand_len;
+                        r.parent[vi] = u;
+                        r.scoped[vi] = false;
+                        r.prepended[vi] = prepend;
+                    }
+                }
+            }
+        }
+
+        // ---- Phase 3: flood down customer cones -------------------------------
+        let mut q = BucketQueue::new();
+        let mut done = vec![false; n];
+        for i in 0..n as u32 {
+            if r.class[i as usize] != CLASS_NONE {
+                q.push(Candidate {
+                    node: i,
+                    len: r.len[i as usize],
+                    parent: r.parent[i as usize],
+                    scoped: r.scoped[i as usize],
+                    prepended: r.prepended[i as usize],
+                });
+            }
+        }
+        while let Some(c) = q.pop() {
+            let i = c.node as usize;
+            if done[i] || r.len[i] != c.len || r.parent[i] != c.parent {
+                continue;
+            }
+            done[i] = true;
+            let cand_len = c.len.saturating_add(1);
+            for &(customer, _) in g.customers(c.node) {
+                let ci = customer as usize;
+                // Adopt only if no better-class route exists.
+                let adopt = match r.class[ci] {
+                    CLASS_NONE => true,
+                    2 => !done[ci] && better(&r, customer, cand_len, c.node),
+                    _ => false,
+                };
+                if adopt {
+                    r.class[ci] = 2;
+                    r.len[ci] = cand_len;
+                    r.parent[ci] = c.node;
+                    r.scoped[ci] = false;
+                    r.prepended[ci] = false;
+                    q.push(Candidate {
+                        node: customer,
+                        len: cand_len,
+                        parent: c.node,
+                        scoped: false,
+                        prepended: false,
+                    });
+                }
+            }
+            for &sib in g.siblings(c.node) {
+                let si = sib as usize;
+                let adopt = match r.class[si] {
+                    CLASS_NONE => true,
+                    2 => !done[si] && better(&r, sib, cand_len, c.node),
+                    _ => false,
+                };
+                if adopt {
+                    r.class[si] = 2;
+                    r.len[si] = cand_len;
+                    r.parent[si] = c.node;
+                    r.scoped[si] = false;
+                    r.prepended[si] = false;
+                    q.push(Candidate {
+                        node: sib,
+                        len: cand_len,
+                        parent: c.node,
+                        scoped: false,
+                        prepended: false,
+                    });
+                }
+            }
+        }
+
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::{Link, Rel};
+    use topogen::{generate, Topology, TopologyConfig};
+
+    fn small_world() -> (Topology, SimGraph) {
+        let topo = generate(&TopologyConfig::small(11));
+        let g = SimGraph::build(&topo);
+        (topo, g)
+    }
+
+    #[test]
+    fn origin_reaches_everyone_in_connected_topology() {
+        let (topo, g) = small_world();
+        let engine = Propagator::new(&g);
+        // Any stub origin should reach (be reachable from) every AS: global
+        // reachability via the Tier-1 clique.
+        let stub = topo
+            .ases
+            .values()
+            .find(|i| i.tier == topogen::TierClass::Stub && i.special.is_none())
+            .unwrap()
+            .asn;
+        let routes = engine.propagate(g.node(stub).unwrap());
+        let reached = routes.reached();
+        assert!(
+            reached as f64 > 0.99 * g.len() as f64,
+            "only {reached}/{} reached",
+            g.len()
+        );
+    }
+
+    #[test]
+    fn paths_are_valley_free() {
+        let (topo, g) = small_world();
+        let engine = Propagator::new(&g);
+        let graph = topo.ground_truth_graph().unwrap();
+        let origins: Vec<u32> = (0..g.len() as u32).step_by(37).collect();
+        for origin in origins {
+            let routes = engine.propagate(origin);
+            for node in (0..g.len() as u32).step_by(53) {
+                let Some(path) = routes.path(node, &g) else { continue };
+                asgraph::check_valley_free(&graph, &path)
+                    .unwrap_or_else(|v| panic!("{v} in path {path:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_routes_never_cross_the_provider_laterally() {
+        let (topo, g) = small_world();
+        let engine = Propagator::new(&g);
+        // Find a partial-transit customer of cogent.
+        let cogent = g.node(topo.cogent).unwrap();
+        let partial_customer = g
+            .customers(cogent)
+            .iter()
+            .find(|(_, partial)| *partial)
+            .map(|(c, _)| *c)
+            .expect("cogent has partial customers");
+        let routes = engine.propagate(partial_customer);
+        // Cogent itself has the route, scoped.
+        assert!(routes.has_route(cogent));
+        // No other Tier-1's best path may go through cogent: the scoped route
+        // is never exported to peers.
+        for t1 in &topo.tier1 {
+            if *t1 == topo.cogent {
+                continue;
+            }
+            let node = g.node(*t1).unwrap();
+            if let Some(path) = routes.path(node, &g) {
+                let via_cogent =
+                    path.windows(2).any(|w| w[0] == topo.cogent && w[1] != topo.cogent);
+                // The path may *start* elsewhere; cogent must not appear as a
+                // transit hop between the T1 and the origin.
+                assert!(
+                    !path.contains(&topo.cogent) || via_cogent == false,
+                    "scoped route leaked through cogent: {path:?}"
+                );
+                assert!(
+                    !path[..path.len() - 1].contains(&topo.cogent),
+                    "scoped route leaked through cogent: {path:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_terminate_at_origin_and_are_loop_free() {
+        let (_, g) = small_world();
+        let engine = Propagator::new(&g);
+        let origin = 0u32;
+        let routes = engine.propagate(origin);
+        for node in 0..g.len() as u32 {
+            if let Some(path) = routes.path(node, &g) {
+                assert_eq!(*path.last().unwrap(), g.asn(origin));
+                assert_eq!(path[0], g.asn(node));
+                let mut compressed = path.clone();
+                compressed.dedup();
+                let mut sorted = compressed.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), compressed.len(), "loop in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn preference_customer_over_peer_over_provider() {
+        // Hand-built diamond: origin O is customer of A and peer of B; B is
+        // customer of A. A must pick the customer route (via B? no: direct).
+        use asgraph::GtRel;
+        use std::collections::BTreeMap;
+        let mk = |n: u32| Asn(n);
+        let mut links = BTreeMap::new();
+        let l = |a: u32, b: u32| Link::new(mk(a), mk(b)).unwrap();
+        // A(1) provider of O(10) and B(2); O peers with B.
+        links.insert(l(1, 10), GtRel::simple(Rel::P2c { provider: mk(1) }));
+        links.insert(l(1, 2), GtRel::simple(Rel::P2c { provider: mk(1) }));
+        links.insert(l(2, 10), GtRel::simple(Rel::P2p));
+        let mut ases = BTreeMap::new();
+        for n in [1u32, 2, 10] {
+            ases.insert(
+                mk(n),
+                topogen::AsInfo {
+                    asn: mk(n),
+                    region: asregistry::RirRegion::Arin,
+                    allocated_region: asregistry::RirRegion::Arin,
+                    country: "US".into(),
+                    org: asregistry::org::OrgId(format!("@{n}")),
+                    tier: topogen::TierClass::Transit,
+                    special: None,
+                    prefixes: vec![],
+                    prefix_te: vec![],
+                    manrs: false,
+                    hijacker: false,
+                    publishes_communities: true,
+                    prepends: false,
+                },
+            );
+        }
+        let topo = Topology {
+            ases,
+            links,
+            tier1: [mk(1)].into_iter().collect(),
+            hypergiants: Default::default(),
+            cogent: mk(1),
+            collector_peers: vec![],
+            ixps: vec![],
+        };
+        let g = SimGraph::build(&topo);
+        let engine = Propagator::new(&g);
+        let routes = engine.propagate(g.node(mk(10)).unwrap());
+        // B hears O via peer (len 1) and would hear via provider A (len 2):
+        // peer wins by class.
+        let b = g.node(mk(2)).unwrap();
+        assert_eq!(routes.class(b), Some(RouteClass::Peer));
+        assert_eq!(routes.path(b, &g).unwrap(), vec![mk(2), mk(10)]);
+        // A hears O directly from its customer: class customer, len 1.
+        let a = g.node(mk(1)).unwrap();
+        assert_eq!(routes.class(a), Some(RouteClass::Customer));
+        assert_eq!(routes.path(a, &g).unwrap(), vec![mk(1), mk(10)]);
+    }
+
+    #[test]
+    fn prepending_lengthens_observed_paths() {
+        let (topo, g) = small_world();
+        let engine = Propagator::new(&g);
+        // Find a prepending AS with a provider.
+        let prepender = (0..g.len() as u32)
+            .find(|&i| g.prepends(i) && !g.providers(i).is_empty())
+            .expect("some AS prepends");
+        let routes = engine.propagate(prepender);
+        let (provider, _) = g.providers(prepender)[0];
+        if let Some(path) = routes.path(provider, &g) {
+            if path.len() > 2 {
+                let dup = path.windows(2).filter(|w| w[0] == w[1]).count();
+                assert!(dup >= 2, "expected prepending in {path:?}");
+            }
+        }
+        let _ = topo;
+    }
+}

@@ -1,0 +1,187 @@
+//! Index-compressed view of a topology for fast per-origin propagation.
+
+use asgraph::{Asn, Rel};
+use topogen::Topology;
+
+/// Dense-index adjacency view over a [`Topology`].
+///
+/// Node ids are `u32` indices into sorted-ASN order, so per-origin state fits
+/// in flat arrays.
+#[derive(Debug, Clone)]
+pub struct SimGraph {
+    asn_of: Vec<Asn>,
+    /// providers[i] = (provider node, this edge is partial-transit)
+    providers: Vec<Vec<(u32, bool)>>,
+    customers: Vec<Vec<(u32, bool)>>,
+    peers: Vec<Vec<u32>>,
+    siblings: Vec<Vec<u32>>,
+    prepends: Vec<bool>,
+}
+
+impl SimGraph {
+    /// Builds the indexed view from a topology's *base* relationships.
+    #[must_use]
+    pub fn build(topology: &Topology) -> Self {
+        let asn_of: Vec<Asn> = topology.ases.keys().copied().collect();
+        let n = asn_of.len();
+        let idx = |asn: Asn| -> Option<u32> {
+            asn_of.binary_search(&asn).ok().map(|i| i as u32)
+        };
+        let mut providers = vec![Vec::new(); n];
+        let mut customers = vec![Vec::new(); n];
+        let mut peers = vec![Vec::new(); n];
+        let mut siblings = vec![Vec::new(); n];
+        for (link, gt) in &topology.links {
+            let (Some(a), Some(b)) = (idx(link.a()), idx(link.b())) else {
+                continue;
+            };
+            match gt.base {
+                Rel::P2c { provider } => {
+                    let (p, c) = if provider == link.a() { (a, b) } else { (b, a) };
+                    providers[c as usize].push((p, gt.partial_transit));
+                    customers[p as usize].push((c, gt.partial_transit));
+                }
+                Rel::P2p => {
+                    peers[a as usize].push(b);
+                    peers[b as usize].push(a);
+                }
+                Rel::S2s => {
+                    siblings[a as usize].push(b);
+                    siblings[b as usize].push(a);
+                }
+            }
+        }
+        let prepends = asn_of
+            .iter()
+            .map(|asn| topology.ases[asn].prepends)
+            .collect();
+        SimGraph {
+            asn_of,
+            providers,
+            customers,
+            peers,
+            siblings,
+            prepends,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.asn_of.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.asn_of.is_empty()
+    }
+
+    /// The ASN of node `i`.
+    #[must_use]
+    pub fn asn(&self, i: u32) -> Asn {
+        self.asn_of[i as usize]
+    }
+
+    /// The node id of `asn`.
+    #[must_use]
+    pub fn node(&self, asn: Asn) -> Option<u32> {
+        self.asn_of.binary_search(&asn).ok().map(|i| i as u32)
+    }
+
+    /// Providers of node `i` with the partial-transit edge flag.
+    #[must_use]
+    pub fn providers(&self, i: u32) -> &[(u32, bool)] {
+        &self.providers[i as usize]
+    }
+
+    /// Customers of node `i` with the partial-transit edge flag.
+    #[must_use]
+    pub fn customers(&self, i: u32) -> &[(u32, bool)] {
+        &self.customers[i as usize]
+    }
+
+    /// Peers of node `i`.
+    #[must_use]
+    pub fn peers(&self, i: u32) -> &[u32] {
+        &self.peers[i as usize]
+    }
+
+    /// Siblings of node `i`.
+    #[must_use]
+    pub fn siblings(&self, i: u32) -> &[u32] {
+        &self.siblings[i as usize]
+    }
+
+    /// Whether node `i` prepends on upward/lateral exports.
+    #[must_use]
+    pub fn prepends(&self, i: u32) -> bool {
+        self.prepends[i as usize]
+    }
+
+    /// Deterministic per-(AS, next-hop, destination) tie-break preference
+    /// among equal-length routes: lower value wins. Models the per-router,
+    /// per-prefix diversity of the real BGP decision process (hot-potato IGP
+    /// distances, router-id, route age). A destination-independent tie-break
+    /// would make an AS pick the *same* neighbor for every destination,
+    /// systematically hiding the other links from collectors — which the
+    /// real Internet does not do.
+    #[must_use]
+    pub fn tie_pref(&self, node: u32, next_hop: u32, origin: u32) -> u64 {
+        let a = u64::from(self.asn(node).0);
+        let b = u64::from(self.asn(next_hop).0);
+        let c = u64::from(self.asn(origin).0);
+        let mut z = a
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::TopologyConfig;
+
+    #[test]
+    fn build_round_trips_adjacency() {
+        let topo = topogen::generate(&TopologyConfig::small(5));
+        let g = SimGraph::build(&topo);
+        assert_eq!(g.len(), topo.as_count());
+        // Spot-check: every ground-truth P2C edge appears in both directions.
+        let graph = topo.ground_truth_graph().unwrap();
+        for asn in graph.ases() {
+            let i = g.node(asn).unwrap();
+            assert_eq!(g.asn(i), asn);
+            let mut sim_provs: Vec<Asn> =
+                g.providers(i).iter().map(|(p, _)| g.asn(*p)).collect();
+            sim_provs.sort();
+            assert_eq!(sim_provs, graph.providers(asn));
+            let mut sim_peers: Vec<Asn> = g.peers(i).iter().map(|p| g.asn(*p)).collect();
+            sim_peers.sort();
+            sim_peers.dedup();
+            let mut exp_peers = graph.peers(asn);
+            exp_peers.sort();
+            assert_eq!(sim_peers, exp_peers);
+        }
+    }
+
+    #[test]
+    fn partial_flags_survive() {
+        let topo = topogen::generate(&TopologyConfig::small(5));
+        let g = SimGraph::build(&topo);
+        let n_partial_topo = topo
+            .links
+            .values()
+            .filter(|r| r.partial_transit)
+            .count();
+        let n_partial_sim: usize = (0..g.len() as u32)
+            .map(|i| g.providers(i).iter().filter(|(_, p)| *p).count())
+            .sum();
+        assert_eq!(n_partial_topo, n_partial_sim);
+        assert!(n_partial_sim > 0);
+    }
+}

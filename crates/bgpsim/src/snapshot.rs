@@ -1,0 +1,422 @@
+//! Full-mesh simulation: propagate every origin, record what each vantage
+//! point exports to the collector, and serialise to real MRT bytes.
+
+use crate::communities::{collector_communities, AnyCommunity};
+use crate::propagate::{Propagator, RouteClass};
+use crate::simgraph::SimGraph;
+use asgraph::{asn::AS_TRANS, Asn, AsPath, PathSet};
+use bgpwire::{
+    attrs::{flatten_segments, AsPathSegment, PathAttribute},
+    mrt, Community, LargeCommunity, WireError,
+};
+use serde::{Deserialize, Serialize};
+use topogen::Topology;
+
+/// Snapshot timestamp: 2018-04-01 00:00:00 UTC (the paper's snapshot month).
+pub const SNAPSHOT_TIME: u32 = 1_522_540_800;
+
+/// One route exported by a vantage point to the collector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteObservation {
+    /// The vantage-point AS.
+    pub vp: Asn,
+    /// The origin AS.
+    pub origin: Asn,
+    /// The announced prefix.
+    pub prefix: bgpwire::Ipv4Prefix,
+    /// Best path at the VP: VP first, origin last, prepending included.
+    pub path: Vec<Asn>,
+    /// How the VP learned the route.
+    pub class: RouteClass,
+}
+
+/// The collector's view of the simulated Internet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RibSnapshot {
+    /// All observations, ordered by (origin, vp).
+    pub observations: Vec<RouteObservation>,
+    /// The collector peer sessions (copied from the topology).
+    pub collector_peers: Vec<topogen::CollectorPeer>,
+}
+
+/// Runs the full simulation: one propagation per origin AS, observations
+/// recorded at every collector peer. Parallel across origins; deterministic
+/// output order.
+#[must_use]
+pub fn simulate(topology: &Topology) -> RibSnapshot {
+    let graph = SimGraph::build(topology);
+    simulate_with_graph(topology, &graph)
+}
+
+/// [`simulate`] reusing a pre-built graph.
+#[must_use]
+pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot {
+    let vps: Vec<(u32, topogen::CollectorPeer)> = topology
+        .collector_peers
+        .iter()
+        .filter_map(|cp| graph.node(cp.asn).map(|n| (n, *cp)))
+        .collect();
+    let origins: Vec<u32> = (0..graph.len() as u32).collect();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(origins.len().max(1));
+    let chunk_size = origins.len().div_ceil(n_threads).max(1);
+
+    let chunks: Vec<&[u32]> = origins.chunks(chunk_size).collect();
+    let mut per_chunk: Vec<Vec<RouteObservation>> = Vec::with_capacity(chunks.len());
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let vps = &vps;
+                s.spawn(move |_| {
+                    let engine = Propagator::new(graph);
+                    let mut out = Vec::new();
+                    for &origin in *chunk {
+                        let asn = graph.asn(origin);
+                        let Some(info) = topology.info(asn) else { continue };
+                        // Group this origin's prefixes by their TE mask so
+                        // each distinct announcement scope propagates once.
+                        let providers = graph.providers(origin);
+                        let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> =
+                            Vec::new();
+                        for (i, prefix) in info.prefixes.iter().enumerate() {
+                            let mask = info
+                                .prefix_te
+                                .get(i)
+                                .copied()
+                                .flatten()
+                                .filter(|_| !providers.is_empty())
+                                .map(|k| providers[usize::from(k) % providers.len()].0);
+                            match by_mask.iter_mut().find(|(m, _)| *m == mask) {
+                                Some((_, list)) => list.push(*prefix),
+                                None => by_mask.push((mask, vec![*prefix])),
+                            }
+                        }
+                        if by_mask.is_empty() {
+                            by_mask.push((None, Vec::new()));
+                        }
+                        for (mask, prefixes) in by_mask {
+                            let routes = engine.propagate_masked(origin, mask);
+                            for (vp_node, cp) in vps {
+                                let Some(class) = routes.class(*vp_node) else {
+                                    continue;
+                                };
+                                // Partial feeds export customer routes only.
+                                if !cp.full_feed && class != RouteClass::Customer {
+                                    continue;
+                                }
+                                if let Some(path) = routes.path(*vp_node, graph) {
+                                    for prefix in &prefixes {
+                                        out.push(RouteObservation {
+                                            vp: cp.asn,
+                                            origin: asn,
+                                            prefix: *prefix,
+                                            path: path.clone(),
+                                            class,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            per_chunk.push(h.join().expect("propagation worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    RibSnapshot {
+        observations: per_chunk.into_iter().flatten().collect(),
+        collector_peers: topology.collector_peers.clone(),
+    }
+}
+
+impl RibSnapshot {
+    /// Converts to the [`PathSet`] consumed by inference algorithms.
+    ///
+    /// With `legacy_as4: false` (the default pipeline), paths carry true
+    /// 4-byte ASNs. With `legacy_as4: true`, paths exported over 16-bit-only
+    /// collector sessions have their 4-byte hops replaced by `AS_TRANS` —
+    /// what a tool that ignores `AS4_PATH` would extract.
+    #[must_use]
+    pub fn to_pathset(&self, legacy_as4: bool) -> PathSet {
+        let two_byte: std::collections::BTreeSet<Asn> = self
+            .collector_peers
+            .iter()
+            .filter(|cp| cp.two_byte_only)
+            .map(|cp| cp.asn)
+            .collect();
+        let mut ps = PathSet::new();
+        for obs in &self.observations {
+            let hops: Vec<Asn> = if legacy_as4 && two_byte.contains(&obs.vp) {
+                obs.path
+                    .iter()
+                    .map(|a| if a.is_four_byte() { AS_TRANS } else { *a })
+                    .collect()
+            } else {
+                obs.path.clone()
+            };
+            ps.push(obs.vp, AsPath::new(hops));
+        }
+        ps
+    }
+
+    /// Serialises the snapshot to MRT `TABLE_DUMP_V2` bytes: a peer index
+    /// table followed by one `RIB_IPV4_UNICAST` record per announced prefix.
+    /// Entries from 16-bit-only sessions store the `AS_TRANS`-substituted
+    /// `AS_PATH` plus the true `AS4_PATH` (as real collectors do).
+    #[must_use]
+    pub fn to_mrt(&self, topology: &Topology) -> Vec<u8> {
+        let table = mrt::PeerIndexTable {
+            collector_id: 0x0A0A_0A0A,
+            view_name: "breval-sim".into(),
+            peers: self
+                .collector_peers
+                .iter()
+                .enumerate()
+                .map(|(i, cp)| mrt::PeerEntry {
+                    bgp_id: i as u32 + 1,
+                    addr: 0x0A00_0000 + i as u32,
+                    asn: cp.asn,
+                    two_byte_only: cp.two_byte_only,
+                })
+                .collect(),
+        };
+        let peer_index: std::collections::BTreeMap<Asn, u16> = self
+            .collector_peers
+            .iter()
+            .enumerate()
+            .map(|(i, cp)| (cp.asn, i as u16))
+            .collect();
+
+        // Group observations per announced prefix.
+        let mut by_prefix: std::collections::BTreeMap<
+            bgpwire::Ipv4Prefix,
+            Vec<&RouteObservation>,
+        > = std::collections::BTreeMap::new();
+        for obs in &self.observations {
+            by_prefix.entry(obs.prefix).or_default().push(obs);
+        }
+
+        let mut ribs = Vec::new();
+        let mut sequence = 0u32;
+        for (prefix, group) in &by_prefix {
+            let entries: Vec<mrt::RibEntry> = group
+                .iter()
+                .filter_map(|obs| {
+                    let idx = *peer_index.get(&obs.vp)?;
+                    let two_byte = self.collector_peers[usize::from(idx)].two_byte_only;
+                    Some(mrt::RibEntry {
+                        peer_index: idx,
+                        originated: SNAPSHOT_TIME,
+                        attributes: path_attributes(topology, &obs.path, two_byte),
+                    })
+                })
+                .collect();
+            if entries.is_empty() {
+                continue;
+            }
+            ribs.push(mrt::RibIpv4Unicast {
+                sequence,
+                prefix: *prefix,
+                entries,
+            });
+            sequence += 1;
+        }
+        mrt::write_dump(&table, &ribs, SNAPSHOT_TIME)
+    }
+}
+
+/// Builds the path-attribute list for one RIB entry.
+fn path_attributes(
+    topology: &Topology,
+    path: &[Asn],
+    two_byte_session: bool,
+) -> Vec<PathAttribute> {
+    let mut attrs = vec![PathAttribute::Origin(0)];
+    let has_four_byte = path.iter().any(|a| a.is_four_byte());
+    if two_byte_session && has_four_byte {
+        let legacy: Vec<Asn> = path
+            .iter()
+            .map(|a| if a.is_four_byte() { AS_TRANS } else { *a })
+            .collect();
+        attrs.push(PathAttribute::AsPath(vec![AsPathSegment::sequence(legacy)]));
+        attrs.push(PathAttribute::As4Path(vec![AsPathSegment::sequence(
+            path.to_vec(),
+        )]));
+    } else {
+        attrs.push(PathAttribute::AsPath(vec![AsPathSegment::sequence(
+            path.to_vec(),
+        )]));
+    }
+    attrs.push(PathAttribute::NextHop(0x0A00_0001));
+
+    let mut classic: Vec<Community> = Vec::new();
+    let mut large: Vec<LargeCommunity> = Vec::new();
+    for c in collector_communities(topology, path) {
+        match c {
+            AnyCommunity::Classic(c) => classic.push(c),
+            AnyCommunity::Large(lc) => large.push(lc),
+        }
+    }
+    if !classic.is_empty() {
+        attrs.push(PathAttribute::Communities(classic));
+    }
+    if !large.is_empty() {
+        attrs.push(PathAttribute::LargeCommunities(large));
+    }
+    attrs
+}
+
+/// Rebuilds a [`PathSet`] from MRT bytes. With `reconstruct_as4: true` the
+/// modern `AS4_PATH` merge is applied; with `false` the legacy view (literal
+/// `AS_TRANS` hops) is extracted.
+pub fn pathset_from_mrt(bytes: &[u8], reconstruct_as4: bool) -> Result<PathSet, WireError> {
+    let (table, ribs) = mrt::read_dump(bytes)?;
+    let mut ps = PathSet::new();
+    for rib in &ribs {
+        for entry in &rib.entries {
+            let vp = table.peers[usize::from(entry.peer_index)].asn;
+            let as_path = entry.attributes.iter().find_map(|a| match a {
+                PathAttribute::AsPath(s) => Some(flatten_segments(s)),
+                _ => None,
+            });
+            let as4_path = entry.attributes.iter().find_map(|a| match a {
+                PathAttribute::As4Path(s) => Some(flatten_segments(s)),
+                _ => None,
+            });
+            let Some(as_path) = as_path else { continue };
+            let hops = if reconstruct_as4 {
+                match as4_path {
+                    Some(as4) => bgpwire::attrs::reconstruct_as4(&as_path, &as4),
+                    None => as_path,
+                }
+            } else {
+                as_path
+            };
+            ps.push(vp, AsPath::new(hops));
+        }
+    }
+    Ok(ps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::TopologyConfig;
+
+    fn snapshot() -> (Topology, RibSnapshot) {
+        let topo = topogen::generate(&TopologyConfig::small(17));
+        let snap = simulate(&topo);
+        (topo, snap)
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let topo = topogen::generate(&TopologyConfig::small(17));
+        let a = simulate(&topo);
+        let b = simulate(&topo);
+        assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn full_feed_vps_see_nearly_everything() {
+        let (topo, snap) = snapshot();
+        let full: Vec<Asn> = topo
+            .collector_peers
+            .iter()
+            .filter(|cp| cp.full_feed)
+            .map(|cp| cp.asn)
+            .collect();
+        let n_origins = topo.as_count();
+        for vp in full.iter().take(5) {
+            let count = snap.observations.iter().filter(|o| o.vp == *vp).count();
+            // Not 100 %: origins single-homed behind a partial-transit
+            // provider are legitimately invisible outside that provider's
+            // customer cone (the §6.1 mechanism).
+            assert!(
+                count as f64 > 0.90 * n_origins as f64,
+                "full-feed VP {vp} sees only {count}/{n_origins}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_feed_vps_export_customer_routes_only() {
+        let (topo, snap) = snapshot();
+        let partial: Vec<Asn> = topo
+            .collector_peers
+            .iter()
+            .filter(|cp| !cp.full_feed)
+            .map(|cp| cp.asn)
+            .collect();
+        assert!(!partial.is_empty());
+        for obs in &snap.observations {
+            if partial.contains(&obs.vp) {
+                assert_eq!(obs.class, RouteClass::Customer);
+            }
+        }
+    }
+
+    #[test]
+    fn pathset_views_differ_only_on_two_byte_vps() {
+        let (topo, snap) = snapshot();
+        let modern = snap.to_pathset(false);
+        let legacy = snap.to_pathset(true);
+        assert_eq!(modern.len(), legacy.len());
+        let two_byte: Vec<Asn> = topo
+            .collector_peers
+            .iter()
+            .filter(|cp| cp.two_byte_only)
+            .map(|cp| cp.asn)
+            .collect();
+        let mut saw_as_trans = false;
+        for (m, l) in modern.paths().iter().zip(legacy.paths()) {
+            assert_eq!(m.vp, l.vp);
+            if m.path != l.path {
+                assert!(two_byte.contains(&m.vp));
+                assert!(l.path.hops().contains(&AS_TRANS));
+                saw_as_trans = true;
+            }
+        }
+        assert!(
+            saw_as_trans,
+            "expected at least one AS_TRANS-mangled path (two-byte VPs exist)"
+        );
+    }
+
+    #[test]
+    fn mrt_roundtrip_preserves_paths() {
+        let (topo, snap) = snapshot();
+        let bytes = snap.to_mrt(&topo);
+        assert!(!bytes.is_empty());
+        let modern = pathset_from_mrt(&bytes, true).unwrap();
+        let legacy = pathset_from_mrt(&bytes, false).unwrap();
+        // Every observation appears (possibly repeated per prefix).
+        assert!(modern.len() >= snap.observations.len());
+        // Modern reconstruction never contains AS_TRANS.
+        for p in modern.paths() {
+            assert!(!p.path.hops().contains(&AS_TRANS));
+        }
+        // Legacy view does, somewhere.
+        assert!(legacy
+            .paths()
+            .iter()
+            .any(|p| p.path.hops().contains(&AS_TRANS)));
+    }
+
+    #[test]
+    fn observations_start_at_vp_and_end_at_origin() {
+        let (_, snap) = snapshot();
+        for obs in snap.observations.iter().take(500) {
+            assert_eq!(obs.path.first(), Some(&obs.vp));
+            assert_eq!(obs.path.last(), Some(&obs.origin));
+        }
+    }
+}

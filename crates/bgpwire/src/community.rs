@@ -1,0 +1,239 @@
+//! BGP community attributes.
+//!
+//! Classic communities (RFC 1997) are the colon-separated `ASN:value` pairs
+//! whose *documented meanings* are the paper's "best-effort" validation source;
+//! large communities (RFC 8092) are the triplet form. The semantics layer
+//! (which community means "learned from peer" etc.) lives in `valdata` — this
+//! module is the wire representation only.
+
+use crate::error::WireError;
+use asgraph::Asn;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A classic RFC 1997 community: 16-bit ASN part and 16-bit value part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Community {
+    /// The AS part (high 16 bits).
+    pub asn: u16,
+    /// The value part (low 16 bits).
+    pub value: u16,
+}
+
+impl Community {
+    /// `NO_EXPORT` (RFC 1997 well-known).
+    pub const NO_EXPORT: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF01,
+    };
+    /// `NO_ADVERTISE` (RFC 1997 well-known).
+    pub const NO_ADVERTISE: Community = Community {
+        asn: 0xFFFF,
+        value: 0xFF02,
+    };
+    /// `BLACKHOLE` (RFC 7999).
+    pub const BLACKHOLE: Community = Community {
+        asn: 0xFFFF,
+        value: 0x029A,
+    };
+
+    /// Builds a community from its AS and value parts.
+    #[must_use]
+    pub fn new(asn: u16, value: u16) -> Self {
+        Community { asn, value }
+    }
+
+    /// The packed 32-bit wire value.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        (u32::from(self.asn) << 16) | u32::from(self.value)
+    }
+
+    /// Unpacks from the 32-bit wire value.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        Community {
+            asn: (raw >> 16) as u16,
+            value: (raw & 0xFFFF) as u16,
+        }
+    }
+
+    /// Encodes the 4-byte wire form.
+    pub fn encode<B: BufMut>(self, buf: &mut B) {
+        buf.put_u32(self.raw());
+    }
+
+    /// Decodes one community.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated {
+                context: "community",
+                expected: 4 - buf.remaining(),
+            });
+        }
+        Ok(Community::from_raw(buf.get_u32()))
+    }
+}
+
+impl fmt::Display for Community {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.asn, self.value)
+    }
+}
+
+impl FromStr for Community {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || WireError::BadAttribute {
+            type_code: 8,
+            reason: "bad community string",
+        };
+        let (a, v) = s.split_once(':').ok_or_else(err)?;
+        Ok(Community {
+            asn: a.parse().map_err(|_| err())?,
+            value: v.parse().map_err(|_| err())?,
+        })
+    }
+}
+
+/// An RFC 8092 large community: `global:local1:local2`, each 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LargeCommunity {
+    /// Global administrator (usually the tagging ASN).
+    pub global: u32,
+    /// First local data part.
+    pub local1: u32,
+    /// Second local data part.
+    pub local2: u32,
+}
+
+impl LargeCommunity {
+    /// Builds a large community.
+    #[must_use]
+    pub fn new(global: u32, local1: u32, local2: u32) -> Self {
+        LargeCommunity {
+            global,
+            local1,
+            local2,
+        }
+    }
+
+    /// The tagging AS (global administrator) as an [`Asn`].
+    #[must_use]
+    pub fn tagger(self) -> Asn {
+        Asn(self.global)
+    }
+
+    /// Encodes the 12-byte wire form.
+    pub fn encode<B: BufMut>(self, buf: &mut B) {
+        buf.put_u32(self.global);
+        buf.put_u32(self.local1);
+        buf.put_u32(self.local2);
+    }
+
+    /// Decodes one large community.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < 12 {
+            return Err(WireError::Truncated {
+                context: "large community",
+                expected: 12 - buf.remaining(),
+            });
+        }
+        Ok(LargeCommunity {
+            global: buf.get_u32(),
+            local1: buf.get_u32(),
+            local2: buf.get_u32(),
+        })
+    }
+}
+
+impl fmt::Display for LargeCommunity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.global, self.local1, self.local2)
+    }
+}
+
+impl FromStr for LargeCommunity {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || WireError::BadAttribute {
+            type_code: 32,
+            reason: "bad large community string",
+        };
+        let mut parts = s.split(':');
+        let g = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let l1 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let l2 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(LargeCommunity::new(g, l1, l2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn raw_roundtrip() {
+        let c = Community::new(3356, 666);
+        assert_eq!(Community::from_raw(c.raw()), c);
+        assert_eq!(c.to_string(), "3356:666");
+        assert_eq!("3356:666".parse::<Community>().unwrap(), c);
+        assert!("3356".parse::<Community>().is_err());
+        assert!("a:b".parse::<Community>().is_err());
+    }
+
+    #[test]
+    fn wellknown_values() {
+        assert_eq!(Community::NO_EXPORT.raw(), 0xFFFF_FF01);
+        assert_eq!(Community::NO_ADVERTISE.raw(), 0xFFFF_FF02);
+        assert_eq!(Community::BLACKHOLE.raw(), 0xFFFF_029A);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let c = Community::new(174, 990);
+        let mut buf = BytesMut::new();
+        c.encode(&mut buf);
+        assert_eq!(buf.len(), 4);
+        let mut s = &buf[..];
+        assert_eq!(Community::decode(&mut s).unwrap(), c);
+
+        let lc = LargeCommunity::new(200_000, 1, 2);
+        let mut buf = BytesMut::new();
+        lc.encode(&mut buf);
+        assert_eq!(buf.len(), 12);
+        let mut s = &buf[..];
+        assert_eq!(LargeCommunity::decode(&mut s).unwrap(), lc);
+        assert_eq!(lc.tagger(), Asn(200_000));
+    }
+
+    #[test]
+    fn truncated_decode() {
+        let mut s: &[u8] = &[0, 1];
+        assert!(matches!(
+            Community::decode(&mut s),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut s: &[u8] = &[0; 11];
+        assert!(matches!(
+            LargeCommunity::decode(&mut s),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn large_parse() {
+        let lc: LargeCommunity = "4200000000:7:8".parse().unwrap();
+        assert_eq!(lc, LargeCommunity::new(4_200_000_000, 7, 8));
+        assert!("1:2".parse::<LargeCommunity>().is_err());
+        assert!("1:2:3:4".parse::<LargeCommunity>().is_err());
+    }
+}

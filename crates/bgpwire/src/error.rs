@@ -1,0 +1,88 @@
+//! Wire-format decoding errors.
+
+use std::fmt;
+
+/// Errors raised while decoding BGP or MRT bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes while `expected` more were needed for `context`.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+        /// How many more bytes were needed.
+        expected: usize,
+    },
+    /// The 16-byte BGP marker was not all-ones.
+    BadMarker,
+    /// The BGP message type octet was not the expected value.
+    UnexpectedMessageType {
+        /// The type octet found.
+        found: u8,
+    },
+    /// A declared length field is inconsistent with the surrounding structure.
+    BadLength {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending declared length.
+        declared: usize,
+    },
+    /// A prefix length octet exceeded 32 bits.
+    BadPrefixLength {
+        /// The offending bit length.
+        bits: u8,
+    },
+    /// An attribute's value was malformed.
+    BadAttribute {
+        /// Attribute type code.
+        type_code: u8,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An AS_PATH segment type octet was invalid.
+    BadSegmentKind {
+        /// The offending segment-type octet.
+        kind: u8,
+    },
+    /// An MRT record declared an unsupported type/subtype combination.
+    UnsupportedMrt {
+        /// MRT type.
+        mrt_type: u16,
+        /// MRT subtype.
+        subtype: u16,
+    },
+    /// A RIB entry referenced a peer index not present in the peer table.
+    UnknownPeerIndex {
+        /// The offending index.
+        index: u16,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context, expected } => {
+                write!(f, "truncated input decoding {context}: needed {expected} more bytes")
+            }
+            WireError::BadMarker => write!(f, "BGP marker is not all-ones"),
+            WireError::UnexpectedMessageType { found } => {
+                write!(f, "unexpected BGP message type {found}")
+            }
+            WireError::BadLength { context, declared } => {
+                write!(f, "inconsistent length {declared} in {context}")
+            }
+            WireError::BadPrefixLength { bits } => write!(f, "prefix length {bits} > 32"),
+            WireError::BadAttribute { type_code, reason } => {
+                write!(f, "malformed attribute type {type_code}: {reason}")
+            }
+            WireError::BadSegmentKind { kind } => write!(f, "invalid AS_PATH segment kind {kind}"),
+            WireError::UnsupportedMrt { mrt_type, subtype } => {
+                write!(f, "unsupported MRT record {mrt_type}/{subtype}")
+            }
+            WireError::UnknownPeerIndex { index } => {
+                write!(f, "RIB entry references unknown peer index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

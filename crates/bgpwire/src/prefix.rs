@@ -1,0 +1,210 @@
+//! IPv4 prefixes and the BGP NLRI variable-length encoding.
+
+use crate::error::WireError;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix in NLRI form: a network address plus a bit length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Builds a prefix, masking `addr` down to `len` bits. `len` must be ≤ 32.
+    pub fn new(addr: u32, len: u8) -> Result<Self, WireError> {
+        if len > 32 {
+            return Err(WireError::BadPrefixLength { bits: len });
+        }
+        Ok(Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        })
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// The masked network address.
+    #[must_use]
+    pub fn addr(&self) -> u32 {
+        self.addr
+    }
+
+    /// The prefix bit length.
+    #[must_use]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// `true` for the zero-length default route.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of address-covering host addresses (2^(32-len)).
+    #[must_use]
+    pub fn address_count(&self) -> u64 {
+        1u64 << (32 - u32::from(self.len))
+    }
+
+    /// `true` if `other` is fully contained in `self`.
+    #[must_use]
+    pub fn covers(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.addr & Self::mask(self.len)) == self.addr
+    }
+
+    /// Encodes into the NLRI wire form: 1 length octet + ceil(len/8) address
+    /// octets.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.len);
+        let octets = self.addr.to_be_bytes();
+        let n = usize::from(self.len).div_ceil(8);
+        buf.put_slice(&octets[..n]);
+    }
+
+    /// Decodes one NLRI prefix from the front of `buf`.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, WireError> {
+        if buf.remaining() < 1 {
+            return Err(WireError::Truncated {
+                context: "NLRI prefix length",
+                expected: 1,
+            });
+        }
+        let len = buf.get_u8();
+        if len > 32 {
+            return Err(WireError::BadPrefixLength { bits: len });
+        }
+        let n = usize::from(len).div_ceil(8);
+        if buf.remaining() < n {
+            return Err(WireError::Truncated {
+                context: "NLRI prefix bytes",
+                expected: n - buf.remaining(),
+            });
+        }
+        let mut octets = [0u8; 4];
+        for octet in octets.iter_mut().take(n) {
+            *octet = buf.get_u8();
+        }
+        Ipv4Prefix::new(u32::from_be_bytes(octets), len)
+    }
+
+    /// Encoded size in bytes.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        1 + usize::from(self.len).div_ceil(8)
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.addr.to_be_bytes();
+        write!(f, "{}.{}.{}.{}/{}", o[0], o[1], o[2], o[3], self.len)
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = WireError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || WireError::BadLength {
+            context: "prefix string",
+            declared: s.len(),
+        };
+        let (addr_s, len_s) = s.split_once('/').ok_or_else(err)?;
+        let len: u8 = len_s.parse().map_err(|_| err())?;
+        let mut octets = [0u8; 4];
+        let mut it = addr_s.split('.');
+        for octet in &mut octets {
+            *octet = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        }
+        if it.next().is_some() {
+            return Err(err());
+        }
+        Ipv4Prefix::new(u32::from_be_bytes(octets), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn masks_host_bits() {
+        let p = Ipv4Prefix::new(0xC0A8_01FF, 24).unwrap();
+        assert_eq!(p.addr(), 0xC0A8_0100);
+        assert_eq!(p.to_string(), "192.168.1.0/24");
+    }
+
+    #[test]
+    fn rejects_long_prefix() {
+        assert!(Ipv4Prefix::new(0, 33).is_err());
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "198.51.100.4/30", "1.2.3.4/32"] {
+            let p: Ipv4Prefix = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/40".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_various_lengths() {
+        for len in [0u8, 1, 7, 8, 9, 16, 17, 24, 25, 32] {
+            let p = Ipv4Prefix::new(0xDEAD_BEEF, len).unwrap();
+            let mut buf = BytesMut::new();
+            p.encode(&mut buf);
+            assert_eq!(buf.len(), p.wire_len());
+            let mut slice = &buf[..];
+            let decoded = Ipv4Prefix::decode(&mut slice).unwrap();
+            assert_eq!(p, decoded);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_truncated() {
+        let mut empty: &[u8] = &[];
+        assert!(matches!(
+            Ipv4Prefix::decode(&mut empty),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut short: &[u8] = &[24, 192, 0]; // /24 needs 3 octets, has 2
+        assert!(matches!(
+            Ipv4Prefix::decode(&mut short),
+            Err(WireError::Truncated { .. })
+        ));
+        let mut bad: &[u8] = &[60, 1, 2, 3, 4];
+        assert!(matches!(
+            Ipv4Prefix::decode(&mut bad),
+            Err(WireError::BadPrefixLength { bits: 60 })
+        ));
+    }
+
+    #[test]
+    fn covers() {
+        let p8: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+        let p24: Ipv4Prefix = "10.1.2.0/24".parse().unwrap();
+        let other: Ipv4Prefix = "11.0.0.0/8".parse().unwrap();
+        assert!(p8.covers(&p24));
+        assert!(!p24.covers(&p8));
+        assert!(!p8.covers(&other));
+        assert!(p8.covers(&p8));
+        assert_eq!(p24.address_count(), 256);
+    }
+}

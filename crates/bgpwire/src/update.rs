@@ -1,0 +1,353 @@
+//! BGP UPDATE messages (RFC 4271 §4.3).
+
+use crate::attrs::{
+    flatten_segments, reconstruct_as4, AsPathSegment, PathAttribute,
+};
+pub use crate::attrs::AsnEncoding;
+use crate::community::Community;
+use crate::error::WireError;
+use crate::prefix::Ipv4Prefix;
+use asgraph::Asn;
+use bytes::{Buf, BufMut, BytesMut};
+use serde::{Deserialize, Serialize};
+
+const MARKER: [u8; 16] = [0xFF; 16];
+const MSG_TYPE_UPDATE: u8 = 2;
+/// BGP maximum message size (RFC 4271).
+pub const MAX_MESSAGE_SIZE: usize = 4096;
+
+/// A BGP UPDATE message.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateMessage {
+    /// Withdrawn routes.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Path attributes.
+    pub attributes: Vec<PathAttribute>,
+    /// Announced prefixes.
+    pub nlri: Vec<Ipv4Prefix>,
+}
+
+impl UpdateMessage {
+    /// Convenience constructor for an announcement of `nlri` with the given
+    /// path and communities. When encoded for a [`AsnEncoding::TwoByte`] peer,
+    /// an `AS4_PATH` is automatically included if the path contains 4-byte
+    /// ASNs (RFC 6793 behaviour).
+    #[must_use]
+    pub fn announcement(nlri: Vec<Ipv4Prefix>, path: Vec<Asn>, communities: Vec<Community>) -> Self {
+        let mut attributes = vec![
+            PathAttribute::Origin(0),
+            PathAttribute::AsPath(vec![AsPathSegment::sequence(path)]),
+            PathAttribute::NextHop(0x0A00_0001),
+        ];
+        if !communities.is_empty() {
+            attributes.push(PathAttribute::Communities(communities));
+        }
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attributes,
+            nlri,
+        }
+    }
+
+    /// A pure withdrawal.
+    #[must_use]
+    pub fn withdrawal(withdrawn: Vec<Ipv4Prefix>) -> Self {
+        UpdateMessage {
+            withdrawn,
+            attributes: Vec::new(),
+            nlri: Vec::new(),
+        }
+    }
+
+    /// The flattened AS path with RFC 6793 `AS4_PATH` reconstruction applied —
+    /// what a *modern, correct* consumer sees.
+    #[must_use]
+    pub fn as_path(&self) -> Option<Vec<Asn>> {
+        let as_path = self.as_path_legacy()?;
+        let as4: Option<Vec<Asn>> = self.attributes.iter().find_map(|a| match a {
+            PathAttribute::As4Path(segments) => Some(flatten_segments(segments)),
+            _ => None,
+        });
+        Some(match as4 {
+            Some(as4) => reconstruct_as4(&as_path, &as4),
+            None => as_path,
+        })
+    }
+
+    /// The flattened AS path *without* `AS4_PATH` reconstruction — what legacy
+    /// tooling sees. Paths through 16-bit speakers contain literal `AS_TRANS`
+    /// hops here; this is the §4.2 spurious-label source.
+    #[must_use]
+    pub fn as_path_legacy(&self) -> Option<Vec<Asn>> {
+        self.attributes.iter().find_map(|a| match a {
+            PathAttribute::AsPath(segments) => Some(flatten_segments(segments)),
+            _ => None,
+        })
+    }
+
+    /// All RFC 1997 communities on the message.
+    #[must_use]
+    pub fn communities(&self) -> Vec<Community> {
+        self.attributes
+            .iter()
+            .filter_map(|a| match a {
+                PathAttribute::Communities(cs) => Some(cs.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    /// Encodes the message (header included) for a peer with the given ASN
+    /// encoding. For a two-byte peer, a synthetic `AS4_PATH` attribute is
+    /// appended when the AS path contains 4-byte ASNs and no `AS4_PATH` is
+    /// already present.
+    #[must_use]
+    pub fn encode(&self, enc: AsnEncoding) -> Vec<u8> {
+        let mut body = BytesMut::new();
+
+        let mut withdrawn_buf = BytesMut::new();
+        for p in &self.withdrawn {
+            p.encode(&mut withdrawn_buf);
+        }
+        body.put_u16(withdrawn_buf.len() as u16);
+        body.put_slice(&withdrawn_buf);
+
+        let mut attr_buf = BytesMut::new();
+        let needs_as4 = enc == AsnEncoding::TwoByte
+            && !self
+                .attributes
+                .iter()
+                .any(|a| matches!(a, PathAttribute::As4Path(_)))
+            && self.attributes.iter().any(|a| {
+                matches!(a, PathAttribute::AsPath(segs)
+                    if segs.iter().flat_map(|s| &s.asns).any(|asn| asn.is_four_byte()))
+            });
+        for a in &self.attributes {
+            a.encode(enc, &mut attr_buf);
+        }
+        if needs_as4 {
+            let true_path: Vec<AsPathSegment> = self
+                .attributes
+                .iter()
+                .find_map(|a| match a {
+                    PathAttribute::AsPath(segs) => Some(segs.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            PathAttribute::As4Path(true_path).encode(enc, &mut attr_buf);
+        }
+        body.put_u16(attr_buf.len() as u16);
+        body.put_slice(&attr_buf);
+
+        for p in &self.nlri {
+            p.encode(&mut body);
+        }
+
+        let mut out = BytesMut::with_capacity(19 + body.len());
+        out.put_slice(&MARKER);
+        out.put_u16((19 + body.len()) as u16);
+        out.put_u8(MSG_TYPE_UPDATE);
+        out.put_slice(&body);
+        out.to_vec()
+    }
+
+    /// Decodes one UPDATE from the front of `buf`, advancing it past the
+    /// message.
+    pub fn decode<B: Buf>(buf: &mut B, enc: AsnEncoding) -> Result<Self, WireError> {
+        if buf.remaining() < 19 {
+            return Err(WireError::Truncated {
+                context: "BGP header",
+                expected: 19 - buf.remaining(),
+            });
+        }
+        let mut marker = [0u8; 16];
+        buf.copy_to_slice(&mut marker);
+        if marker != MARKER {
+            return Err(WireError::BadMarker);
+        }
+        let length = usize::from(buf.get_u16());
+        let msg_type = buf.get_u8();
+        if msg_type != MSG_TYPE_UPDATE {
+            return Err(WireError::UnexpectedMessageType { found: msg_type });
+        }
+        if !(19..=MAX_MESSAGE_SIZE).contains(&length) {
+            return Err(WireError::BadLength {
+                context: "BGP message length",
+                declared: length,
+            });
+        }
+        let body_len = length - 19;
+        if buf.remaining() < body_len {
+            return Err(WireError::Truncated {
+                context: "BGP UPDATE body",
+                expected: body_len - buf.remaining(),
+            });
+        }
+        let mut body = vec![0u8; body_len];
+        buf.copy_to_slice(&mut body);
+        let mut body = &body[..];
+
+        if body.remaining() < 2 {
+            return Err(WireError::Truncated {
+                context: "withdrawn routes length",
+                expected: 2,
+            });
+        }
+        let withdrawn_len = usize::from(body.get_u16());
+        if body.remaining() < withdrawn_len {
+            return Err(WireError::BadLength {
+                context: "withdrawn routes",
+                declared: withdrawn_len,
+            });
+        }
+        let mut withdrawn_bytes = &body[..withdrawn_len];
+        body.advance(withdrawn_len);
+        let mut withdrawn = Vec::new();
+        while withdrawn_bytes.has_remaining() {
+            withdrawn.push(Ipv4Prefix::decode(&mut withdrawn_bytes)?);
+        }
+
+        if body.remaining() < 2 {
+            return Err(WireError::Truncated {
+                context: "path attribute length",
+                expected: 2,
+            });
+        }
+        let attr_len = usize::from(body.get_u16());
+        if body.remaining() < attr_len {
+            return Err(WireError::BadLength {
+                context: "path attributes",
+                declared: attr_len,
+            });
+        }
+        let mut attr_bytes = &body[..attr_len];
+        body.advance(attr_len);
+        let mut attributes = Vec::new();
+        while attr_bytes.has_remaining() {
+            attributes.push(PathAttribute::decode(&mut attr_bytes, enc)?);
+        }
+
+        let mut nlri = Vec::new();
+        while body.has_remaining() {
+            nlri.push(Ipv4Prefix::decode(&mut body)?);
+        }
+
+        Ok(UpdateMessage {
+            withdrawn,
+            attributes,
+            nlri,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prefix(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_four_byte() {
+        let msg = UpdateMessage::announcement(
+            vec![prefix("192.0.2.0/24"), prefix("198.51.100.0/24")],
+            vec![Asn(3356), Asn(200_000), Asn(64_499)],
+            vec![Community::new(3356, 100)],
+        );
+        let bytes = msg.encode(AsnEncoding::FourByte);
+        let mut slice = &bytes[..];
+        let decoded = UpdateMessage::decode(&mut slice, AsnEncoding::FourByte).unwrap();
+        assert!(slice.is_empty());
+        assert_eq!(decoded, msg);
+        assert_eq!(
+            decoded.as_path().unwrap(),
+            vec![Asn(3356), Asn(200_000), Asn(64_499)]
+        );
+        assert_eq!(decoded.communities(), vec![Community::new(3356, 100)]);
+    }
+
+    #[test]
+    fn two_byte_peer_produces_as_trans_and_as4_path() {
+        let msg = UpdateMessage::announcement(
+            vec![prefix("192.0.2.0/24")],
+            vec![Asn(3356), Asn(200_000)],
+            vec![],
+        );
+        let bytes = msg.encode(AsnEncoding::TwoByte);
+        let mut slice = &bytes[..];
+        let decoded = UpdateMessage::decode(&mut slice, AsnEncoding::TwoByte).unwrap();
+        // Legacy view contains AS_TRANS …
+        assert_eq!(
+            decoded.as_path_legacy().unwrap(),
+            vec![Asn(3356), asgraph::asn::AS_TRANS]
+        );
+        // … but a correct consumer reconstructs the true path.
+        assert_eq!(decoded.as_path().unwrap(), vec![Asn(3356), Asn(200_000)]);
+    }
+
+    #[test]
+    fn two_byte_peer_without_big_asns_has_no_as4_path() {
+        let msg = UpdateMessage::announcement(
+            vec![prefix("192.0.2.0/24")],
+            vec![Asn(3356), Asn(174)],
+            vec![],
+        );
+        let bytes = msg.encode(AsnEncoding::TwoByte);
+        let mut slice = &bytes[..];
+        let decoded = UpdateMessage::decode(&mut slice, AsnEncoding::TwoByte).unwrap();
+        assert!(!decoded
+            .attributes
+            .iter()
+            .any(|a| matches!(a, PathAttribute::As4Path(_))));
+        assert_eq!(decoded.as_path().unwrap(), vec![Asn(3356), Asn(174)]);
+    }
+
+    #[test]
+    fn withdrawal_roundtrip() {
+        let msg = UpdateMessage::withdrawal(vec![prefix("10.0.0.0/8")]);
+        let bytes = msg.encode(AsnEncoding::FourByte);
+        let mut slice = &bytes[..];
+        let decoded = UpdateMessage::decode(&mut slice, AsnEncoding::FourByte).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(decoded.as_path().is_none());
+    }
+
+    #[test]
+    fn rejects_bad_marker_and_type() {
+        let msg = UpdateMessage::withdrawal(vec![]);
+        let mut bytes = msg.encode(AsnEncoding::FourByte);
+        bytes[0] = 0x00;
+        let mut slice = &bytes[..];
+        assert_eq!(
+            UpdateMessage::decode(&mut slice, AsnEncoding::FourByte),
+            Err(WireError::BadMarker)
+        );
+
+        let mut bytes = msg.encode(AsnEncoding::FourByte);
+        bytes[18] = 1; // OPEN
+        let mut slice = &bytes[..];
+        assert!(matches!(
+            UpdateMessage::decode(&mut slice, AsnEncoding::FourByte),
+            Err(WireError::UnexpectedMessageType { found: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let msg = UpdateMessage::announcement(
+            vec![prefix("192.0.2.0/24")],
+            vec![Asn(1), Asn(2)],
+            vec![],
+        );
+        let bytes = msg.encode(AsnEncoding::FourByte);
+        for cut in [0, 5, 18, bytes.len() - 1] {
+            let mut slice = &bytes[..cut];
+            assert!(
+                UpdateMessage::decode(&mut slice, AsnEncoding::FourByte).is_err(),
+                "cut at {cut} must error"
+            );
+        }
+    }
+}

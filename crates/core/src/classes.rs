@@ -1,0 +1,271 @@
+//! §5 — link classes.
+//!
+//! **Regional** classes come from the two-step ASN→region mapping (IANA
+//! bootstrap + delegation-file refinement, provided by `asregistry`): links
+//! within one region are `<R>°` (e.g. `L°`), links across regions are
+//! `<R1>-<R2>` with the lexicographically smaller abbreviation first.
+//!
+//! **Topological** classes start from Stub/Transit (customer cone over the
+//! *inferred* graph, as the paper uses CAIDA's cone data) and are refined by
+//! the Tier-1 and hypergiant lists. Class labels follow the paper's
+//! convention (`S-TR`, `TR°`, `T1-TR`, `H-S`, …).
+
+use asgraph::{cone, AsGraph, Asn, Link};
+use asregistry::{RegionMap, RirRegion};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// A regional link class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegionClass {
+    /// Both ASes in the same region.
+    Intra(RirRegion),
+    /// ASes in two different regions (stored in abbreviation order).
+    Inter(RirRegion, RirRegion),
+}
+
+impl RegionClass {
+    /// Builds the class for two regions, normalising the order.
+    #[must_use]
+    pub fn of(a: RirRegion, b: RirRegion) -> Self {
+        if a == b {
+            RegionClass::Intra(a)
+        } else if a.abbrev() < b.abbrev() {
+            RegionClass::Inter(a, b)
+        } else {
+            RegionClass::Inter(b, a)
+        }
+    }
+
+    /// The paper's label: `R°`, `AR-L`, ….
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            RegionClass::Intra(r) => format!("{}°", r.abbrev()),
+            RegionClass::Inter(a, b) => format!("{}-{}", a.abbrev(), b.abbrev()),
+        }
+    }
+}
+
+/// A node's topological class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TopoClass {
+    /// Hypergiant (from the Böttger et al.-style list).
+    H,
+    /// Stub (empty inferred customer cone).
+    S,
+    /// Tier-1 (from the Wikipedia-style list).
+    T1,
+    /// Transit (non-empty inferred customer cone).
+    TR,
+}
+
+impl TopoClass {
+    /// Short label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            TopoClass::H => "H",
+            TopoClass::S => "S",
+            TopoClass::T1 => "T1",
+            TopoClass::TR => "TR",
+        }
+    }
+}
+
+/// Assigns regional and topological classes to links.
+#[derive(Debug, Clone)]
+pub struct LinkClassifier {
+    region_map: RegionMap,
+    tier1: BTreeSet<Asn>,
+    hypergiants: BTreeSet<Asn>,
+    cone_sizes: HashMap<Asn, usize>,
+}
+
+impl LinkClassifier {
+    /// Builds a classifier.
+    ///
+    /// * `region_map` — the §5 ASN→region mapping,
+    /// * `inferred_graph` — the graph of *inferred* relationships, over which
+    ///   customer cones are computed (mirrors using CAIDA's cone dataset),
+    /// * `tier1` / `hypergiants` — the external refinement lists.
+    #[must_use]
+    pub fn new(
+        region_map: RegionMap,
+        inferred_graph: &AsGraph,
+        tier1: BTreeSet<Asn>,
+        hypergiants: BTreeSet<Asn>,
+    ) -> Self {
+        LinkClassifier {
+            region_map,
+            tier1,
+            hypergiants,
+            cone_sizes: cone::customer_cone_sizes(inferred_graph),
+        }
+    }
+
+    /// The service region of an AS.
+    #[must_use]
+    pub fn region(&self, asn: Asn) -> Option<RirRegion> {
+        self.region_map.region(asn)
+    }
+
+    /// The regional class of a link; `None` when either endpoint is reserved
+    /// or unmapped (such links are discarded in §5).
+    #[must_use]
+    pub fn region_class(&self, link: Link) -> Option<RegionClass> {
+        let a = self.region(link.a())?;
+        let b = self.region(link.b())?;
+        Some(RegionClass::of(a, b))
+    }
+
+    /// The topological class of an AS.
+    #[must_use]
+    pub fn node_class(&self, asn: Asn) -> TopoClass {
+        if self.tier1.contains(&asn) {
+            TopoClass::T1
+        } else if self.hypergiants.contains(&asn) {
+            TopoClass::H
+        } else if self.cone_sizes.get(&asn).copied().unwrap_or(1) > 1 {
+            TopoClass::TR
+        } else {
+            TopoClass::S
+        }
+    }
+
+    /// The topological class label of a link (`S-TR`, `TR°`, `H-T1`, …).
+    /// Pairs are ordered H, S, T1, TR (the paper's convention).
+    #[must_use]
+    pub fn topo_class(&self, link: Link) -> String {
+        let (a, b) = (self.node_class(link.a()), self.node_class(link.b()));
+        if a == b {
+            format!("{}°", a.label())
+        } else {
+            let (x, y) = if a <= b { (a, b) } else { (b, a) };
+            format!("{}-{}", x.label(), y.label())
+        }
+    }
+
+    /// `true` if both endpoints classify as transit (the `TR°` links the
+    /// heatmaps drill into).
+    #[must_use]
+    pub fn is_tr_tr(&self, link: Link) -> bool {
+        self.node_class(link.a()) == TopoClass::TR && self.node_class(link.b()) == TopoClass::TR
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Rel;
+    use asregistry::iana::BlockAuthority;
+    use asregistry::IanaAsnTable;
+
+    fn region_map() -> RegionMap {
+        let mut iana = IanaAsnTable::new();
+        iana.push_block(1, 1000, BlockAuthority::Rir(RirRegion::Arin))
+            .unwrap();
+        iana.push_block(1001, 2000, BlockAuthority::Rir(RirRegion::Lacnic))
+            .unwrap();
+        iana.push_block(2001, 3000, BlockAuthority::Rir(RirRegion::RipeNcc))
+            .unwrap();
+        RegionMap::from_iana(iana)
+    }
+
+    fn classifier() -> LinkClassifier {
+        let mut g = AsGraph::new();
+        // 1 (T1) provides to 10 (TR) provides to 100 (S); 500 is H.
+        g.add_rel(
+            Link::new(Asn(1), Asn(10)).unwrap(),
+            Rel::P2c { provider: Asn(1) },
+        )
+        .unwrap();
+        g.add_rel(
+            Link::new(Asn(10), Asn(100)).unwrap(),
+            Rel::P2c { provider: Asn(10) },
+        )
+        .unwrap();
+        g.add_rel(Link::new(Asn(10), Asn(500)).unwrap(), Rel::P2p)
+            .unwrap();
+        LinkClassifier::new(
+            region_map(),
+            &g,
+            [Asn(1)].into_iter().collect(),
+            [Asn(500)].into_iter().collect(),
+        )
+    }
+
+    #[test]
+    fn region_labels_match_paper_convention() {
+        assert_eq!(
+            RegionClass::of(RirRegion::RipeNcc, RirRegion::RipeNcc).label(),
+            "R°"
+        );
+        assert_eq!(
+            RegionClass::of(RirRegion::RipeNcc, RirRegion::Arin).label(),
+            "AR-R"
+        );
+        assert_eq!(
+            RegionClass::of(RirRegion::Lacnic, RirRegion::Arin).label(),
+            "AR-L"
+        );
+        assert_eq!(
+            RegionClass::of(RirRegion::Apnic, RirRegion::Afrinic).label(),
+            "AF-AP"
+        );
+        // Symmetric.
+        assert_eq!(
+            RegionClass::of(RirRegion::Arin, RirRegion::Lacnic),
+            RegionClass::of(RirRegion::Lacnic, RirRegion::Arin)
+        );
+    }
+
+    #[test]
+    fn link_region_classes() {
+        let c = classifier();
+        assert_eq!(
+            c.region_class(Link::new(Asn(5), Asn(900)).unwrap())
+                .unwrap()
+                .label(),
+            "AR°"
+        );
+        assert_eq!(
+            c.region_class(Link::new(Asn(5), Asn(1500)).unwrap())
+                .unwrap()
+                .label(),
+            "AR-L"
+        );
+        // Unmapped / reserved endpoints yield None.
+        assert!(c.region_class(Link::new(Asn(5), Asn(9999)).unwrap()).is_none());
+        assert!(c
+            .region_class(Link::new(Asn(5), Asn(64512)).unwrap())
+            .is_none());
+    }
+
+    #[test]
+    fn node_classes_follow_lists_and_cones() {
+        let c = classifier();
+        assert_eq!(c.node_class(Asn(1)), TopoClass::T1);
+        assert_eq!(c.node_class(Asn(10)), TopoClass::TR);
+        assert_eq!(c.node_class(Asn(100)), TopoClass::S);
+        assert_eq!(c.node_class(Asn(500)), TopoClass::H);
+        // Unknown AS defaults to stub.
+        assert_eq!(c.node_class(Asn(777)), TopoClass::S);
+    }
+
+    #[test]
+    fn topo_labels_match_paper_convention() {
+        let c = classifier();
+        assert_eq!(c.topo_class(Link::new(Asn(10), Asn(100)).unwrap()), "S-TR");
+        assert_eq!(c.topo_class(Link::new(Asn(1), Asn(10)).unwrap()), "T1-TR");
+        assert_eq!(c.topo_class(Link::new(Asn(1), Asn(100)).unwrap()), "S-T1");
+        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(10)).unwrap()), "H-TR");
+        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(100)).unwrap()), "H-S");
+        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(1)).unwrap()), "H-T1");
+        assert_eq!(
+            c.topo_class(Link::new(Asn(100), Asn(101)).unwrap()),
+            "S°"
+        );
+        assert!(c.is_tr_tr(Link::new(Asn(10), Asn(11)).unwrap()) == false);
+    }
+}

@@ -1,0 +1,112 @@
+//! Figs. 1–2 — per-class link share vs validation coverage.
+
+use asgraph::Link;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One bar pair of Fig. 1 / Fig. 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassCoverage {
+    /// Class label (`R°`, `S-TR`, …).
+    pub class: String,
+    /// Links of this class among the inferred links.
+    pub inferred_links: usize,
+    /// Fraction of all (classified) inferred links in this class.
+    pub share: f64,
+    /// Inferred links of this class that carry a validation label.
+    pub validated_links: usize,
+    /// Validation coverage of this class.
+    pub coverage: f64,
+}
+
+/// Computes per-class shares and coverage.
+///
+/// * `inferred` — the inferred link set (the topology snapshot under study),
+/// * `validated` — links carrying cleaned validation labels,
+/// * `class_of` — class assignment; links mapping to `None` are discarded
+///   (reserved endpoints, §5).
+///
+/// Returns rows sorted by descending share, as the figures are.
+#[must_use]
+pub fn coverage_by_class<F>(
+    inferred: &BTreeSet<Link>,
+    validated: &BTreeSet<Link>,
+    class_of: F,
+) -> Vec<ClassCoverage>
+where
+    F: Fn(Link) -> Option<String>,
+{
+    let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut classified_total = 0usize;
+    for link in inferred {
+        let Some(class) = class_of(*link) else { continue };
+        classified_total += 1;
+        let entry = per_class.entry(class).or_insert((0, 0));
+        entry.0 += 1;
+        if validated.contains(link) {
+            entry.1 += 1;
+        }
+    }
+    let mut rows: Vec<ClassCoverage> = per_class
+        .into_iter()
+        .map(|(class, (links, validated))| ClassCoverage {
+            class,
+            inferred_links: links,
+            share: links as f64 / classified_total.max(1) as f64,
+            validated_links: validated,
+            coverage: validated as f64 / links.max(1) as f64,
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.share
+            .partial_cmp(&a.share)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.class.cmp(&b.class))
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::Asn;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(Asn(a), Asn(b)).unwrap()
+    }
+
+    #[test]
+    fn shares_and_coverage() {
+        let inferred: BTreeSet<Link> =
+            [link(1, 2), link(1, 3), link(2, 3), link(10, 11)].into_iter().collect();
+        let validated: BTreeSet<Link> = [link(1, 2), link(10, 11)].into_iter().collect();
+        // Class: "low" for links among 1-3, "high" for 10+.
+        let rows = coverage_by_class(&inferred, &validated, |l| {
+            Some(if l.a().0 < 10 { "low".into() } else { "high".into() })
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].class, "low");
+        assert_eq!(rows[0].inferred_links, 3);
+        assert!((rows[0].share - 0.75).abs() < 1e-12);
+        assert!((rows[0].coverage - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(rows[1].class, "high");
+        assert!((rows[1].coverage - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unclassified_links_are_excluded_from_totals() {
+        let inferred: BTreeSet<Link> = [link(1, 2), link(5, 6)].into_iter().collect();
+        let validated: BTreeSet<Link> = BTreeSet::new();
+        let rows = coverage_by_class(&inferred, &validated, |l| {
+            (l.a().0 == 1).then(|| "x".to_string())
+        });
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].share - 1.0).abs() < 1e-12, "share over classified only");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let rows = coverage_by_class(&BTreeSet::new(), &BTreeSet::new(), |_| Some("x".into()));
+        assert!(rows.is_empty());
+    }
+}

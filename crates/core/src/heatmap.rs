@@ -1,0 +1,206 @@
+//! Figs. 3 and 7–9 — 2D binned link distributions.
+//!
+//! For transit-transit (`TR°`) links, bin each link by a per-AS metric of its
+//! two endpoints — (smaller, larger) — and compare the mass distribution of
+//! *inferred* links against *validated* links. The top row / right column
+//! clamp everything beyond the axis limits, exactly as the paper's figures do
+//! ("the row above 150 … catch all transit degree equal or larger").
+
+use asgraph::{Asn, Link};
+use serde::{Deserialize, Serialize};
+
+/// Heatmap axes configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapConfig {
+    /// Number of bins along the larger-metric (x) axis.
+    pub x_bins: usize,
+    /// Number of bins along the smaller-metric (y) axis.
+    pub y_bins: usize,
+    /// Clamp limit for the larger metric (values ≥ go to the last column).
+    pub x_max: usize,
+    /// Clamp limit for the smaller metric.
+    pub y_max: usize,
+}
+
+impl HeatmapConfig {
+    /// Fig. 3's axes: transit degree, 1500 × 150, 10×10 bins.
+    #[must_use]
+    pub fn transit_degree() -> Self {
+        HeatmapConfig {
+            x_bins: 10,
+            y_bins: 10,
+            x_max: 1500,
+            y_max: 150,
+        }
+    }
+
+    /// Figs. 7–8's axes: PPDC cone size, 750 × 45.
+    #[must_use]
+    pub fn ppdc() -> Self {
+        HeatmapConfig {
+            x_bins: 10,
+            y_bins: 10,
+            x_max: 750,
+            y_max: 45,
+        }
+    }
+
+    /// Fig. 9's axes: node degree, 1500 × 150.
+    #[must_use]
+    pub fn node_degree() -> Self {
+        HeatmapConfig {
+            x_bins: 10,
+            y_bins: 10,
+            x_max: 1500,
+            y_max: 150,
+        }
+    }
+}
+
+/// A normalised 2D histogram of links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Configuration used.
+    pub config: HeatmapConfig,
+    /// `cells[y][x]` = fraction of links in that bin (rows: smaller metric).
+    pub cells: Vec<Vec<f64>>,
+    /// Number of links binned.
+    pub links: usize,
+}
+
+impl Heatmap {
+    /// Builds a heatmap over `links`, reading each endpoint's metric through
+    /// `metric`.
+    #[must_use]
+    pub fn build<'a, I, F>(links: I, metric: F, config: HeatmapConfig) -> Self
+    where
+        I: IntoIterator<Item = &'a Link>,
+        F: Fn(Asn) -> usize,
+    {
+        let mut counts = vec![vec![0usize; config.x_bins]; config.y_bins];
+        let mut total = 0usize;
+        for link in links {
+            let (ma, mb) = (metric(link.a()), metric(link.b()));
+            let (small, large) = (ma.min(mb), ma.max(mb));
+            let x = bin(large, config.x_max, config.x_bins);
+            let y = bin(small, config.y_max, config.y_bins);
+            counts[y][x] += 1;
+            total += 1;
+        }
+        let cells = counts
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|c| c as f64 / total.max(1) as f64)
+                    .collect()
+            })
+            .collect();
+        Heatmap {
+            config,
+            cells,
+            links: total,
+        }
+    }
+
+    /// The fraction of mass in the lowest-left quadrant (both metrics in the
+    /// bottom 30 % of their axes) — the paper's "vast majority of TR° links
+    /// are between relatively small transit ASes" summary statistic.
+    #[must_use]
+    pub fn bottom_left_mass(&self) -> f64 {
+        let yq = (self.config.y_bins as f64 * 0.3).ceil() as usize;
+        let xq = (self.config.x_bins as f64 * 0.3).ceil() as usize;
+        self.cells
+            .iter()
+            .take(yq)
+            .flat_map(|row| row.iter().take(xq))
+            .sum()
+    }
+
+    /// Total variation distance to another heatmap with the same shape
+    /// (0 = identical distributions, 1 = disjoint).
+    #[must_use]
+    pub fn tv_distance(&self, other: &Heatmap) -> f64 {
+        let mut d = 0.0;
+        for (ra, rb) in self.cells.iter().zip(&other.cells) {
+            for (a, b) in ra.iter().zip(rb) {
+                d += (a - b).abs();
+            }
+        }
+        d / 2.0
+    }
+}
+
+fn bin(value: usize, max: usize, bins: usize) -> usize {
+    if value >= max {
+        return bins - 1;
+    }
+    (value * bins) / max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(Asn(a), Asn(b)).unwrap()
+    }
+
+    #[test]
+    fn bins_clamp_and_normalise() {
+        let cfg = HeatmapConfig {
+            x_bins: 4,
+            y_bins: 4,
+            x_max: 40,
+            y_max: 40,
+        };
+        // Metric = ASN value.
+        let links = [link(5, 15), link(5, 100), link(39, 39_0)];
+        let hm = Heatmap::build(links.iter(), |a| a.0 as usize, cfg);
+        assert_eq!(hm.links, 3);
+        let sum: f64 = hm.cells.iter().flatten().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // link(5, 100): larger=100 clamps to last column, smaller=5 → bin 0.
+        assert!(hm.cells[0][3] > 0.0);
+    }
+
+    #[test]
+    fn bottom_left_mass_detects_concentration() {
+        let cfg = HeatmapConfig {
+            x_bins: 10,
+            y_bins: 10,
+            x_max: 100,
+            y_max: 100,
+        };
+        let small: Vec<Link> = (0..20).map(|i| link(2 + i, 30 + i)).collect();
+        let hm_small = Heatmap::build(small.iter(), |a| (a.0 % 10) as usize, cfg);
+        assert!(hm_small.bottom_left_mass() > 0.9);
+    }
+
+    #[test]
+    fn tv_distance_zero_for_identical() {
+        let cfg = HeatmapConfig {
+            x_bins: 3,
+            y_bins: 3,
+            x_max: 30,
+            y_max: 30,
+        };
+        let links = [link(1, 2), link(5, 25)];
+        let a = Heatmap::build(links.iter(), |x| x.0 as usize, cfg);
+        let b = Heatmap::build(links.iter(), |x| x.0 as usize, cfg);
+        assert_eq!(a.tv_distance(&b), 0.0);
+        // Disjoint distributions → distance 1.
+        let c = Heatmap::build([link(29, 29_9)].iter(), |x| x.0 as usize, cfg);
+        assert!(a.tv_distance(&c) > 0.49);
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let hm = Heatmap::build(
+            std::iter::empty(),
+            |_| 0,
+            HeatmapConfig::transit_degree(),
+        );
+        assert_eq!(hm.links, 0);
+        assert!(hm.cells.iter().flatten().all(|c| *c == 0.0));
+    }
+}

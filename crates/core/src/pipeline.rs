@@ -1,0 +1,392 @@
+//! End-to-end scenario driver: generate → propagate → infer → compile
+//! validation → clean → classify. Everything the figures and tables need,
+//! in one deterministic object.
+
+use crate::classes::LinkClassifier;
+use crate::cleaning::{clean, CleanValidation, CleaningConfig};
+use crate::coverage::{coverage_by_class, ClassCoverage};
+use crate::heatmap::{Heatmap, HeatmapConfig};
+use crate::metrics::{EvalTable, ScoredLink};
+use asgraph::{cone, AsGraph, Link, PathSet, PathStats};
+use asinfer::{AsRank, Classifier, GaoClassifier, Inference, ProbLink, TopoScope};
+use bgpsim::RibSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use topogen::{Topology, TopologyConfig};
+use valdata::{ValDataConfig, ValidationSet};
+
+/// Which per-AS metric a heatmap bins by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeatmapMetric {
+    /// Fig. 3: transit degree.
+    TransitDegree,
+    /// Fig. 7: provider/peer observed customer cone size.
+    Ppdc,
+    /// Fig. 8: PPDC, excluding links incident to vantage-point ASes.
+    PpdcNoVp,
+    /// Fig. 9: node degree.
+    NodeDegree,
+}
+
+/// Scenario configuration (one paper "snapshot").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Topology generation.
+    pub topology: TopologyConfig,
+    /// Validation-data compilation.
+    pub valdata: ValDataConfig,
+    /// §4.2 cleaning.
+    pub cleaning: CleaningConfig,
+    /// Minimum scored links for a class to appear in evaluation tables
+    /// (the paper uses 500).
+    pub min_class_links: usize,
+    /// Also run the (slow, historical) Gao baseline.
+    pub include_gao: bool,
+    /// Use all three validation sources instead of the communities-only
+    /// "best-effort" set the paper studies (kept for source-bias ablations).
+    pub use_all_sources: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            topology: TopologyConfig::default(),
+            valdata: ValDataConfig::default(),
+            cleaning: CleaningConfig::default(),
+            min_class_links: 500,
+            include_gao: false,
+            use_all_sources: false,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A small scenario for tests (seeded).
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        ScenarioConfig {
+            topology: TopologyConfig::small(seed),
+            min_class_links: 30,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// A fully-materialised scenario.
+pub struct Scenario {
+    /// The configuration that produced it.
+    pub config: ScenarioConfig,
+    /// The generated world.
+    pub topology: Topology,
+    /// The collector snapshot.
+    pub snapshot: RibSnapshot,
+    /// Observed paths (modern `AS4_PATH`-reconstructed view).
+    pub paths: PathSet,
+    /// Path-derived statistics.
+    pub stats: PathStats,
+    /// All observed links — the paper's "inferred links".
+    pub inferred_links: BTreeSet<Link>,
+    /// Per-classifier inference results.
+    pub inferences: BTreeMap<String, Inference>,
+    /// Raw validation labels.
+    pub validation_raw: ValidationSet,
+    /// Cleaned validation labels (§4.2).
+    pub validation: CleanValidation,
+    /// Link classifier (§5).
+    pub classifier: LinkClassifier,
+}
+
+impl Scenario {
+    /// Runs the whole pipeline.
+    #[must_use]
+    pub fn run(config: ScenarioConfig) -> Self {
+        let topology = topogen::generate(&config.topology);
+        let snapshot = bgpsim::simulate(&topology);
+        let paths = snapshot.to_pathset(false).sanitized();
+        let stats = paths.stats();
+        let inferred_links: BTreeSet<Link> = stats.links().clone();
+
+        let mut inferences: BTreeMap<String, Inference> = BTreeMap::new();
+        let asrank = AsRank::new().infer(&paths);
+        inferences.insert("problink".into(), ProbLink::new().infer(&paths));
+        inferences.insert("toposcope".into(), TopoScope::new().infer(&paths));
+        if config.include_gao {
+            inferences.insert("gao".into(), GaoClassifier::new().infer(&paths));
+        }
+
+        let validation_raw = valdata::compile_all(&topology, &snapshot, &config.valdata);
+        let org = topology.as2org();
+        let selected = if config.use_all_sources {
+            validation_raw.clone()
+        } else {
+            validation_raw.only_source(valdata::LabelSource::Communities)
+        };
+        let validation = clean(&selected, &org, &config.cleaning);
+
+        // The §5 classifier derives cones from ASRank's inference (the CAIDA
+        // cone dataset analogue) and takes the Tier-1 / hypergiant lists.
+        let inferred_graph = graph_of(&asrank);
+        let classifier = LinkClassifier::new(
+            region_map(&topology),
+            &inferred_graph,
+            topology.tier1.clone(),
+            topology.hypergiants.clone(),
+        );
+        inferences.insert("asrank".into(), asrank);
+
+        Scenario {
+            config,
+            topology,
+            snapshot,
+            paths,
+            stats,
+            inferred_links,
+            inferences,
+            validation_raw,
+            validation,
+            classifier,
+        }
+    }
+
+    /// The named inference (`"asrank"`, `"problink"`, `"toposcope"`, `"gao"`).
+    #[must_use]
+    pub fn inference(&self, name: &str) -> Option<&Inference> {
+        self.inferences.get(name)
+    }
+
+    /// Joins one classifier's inferences with the cleaned validation labels.
+    #[must_use]
+    pub fn scored(&self, classifier_name: &str) -> Vec<ScoredLink> {
+        let Some(inference) = self.inferences.get(classifier_name) else {
+            return Vec::new();
+        };
+        self.validation
+            .labels
+            .iter()
+            .filter_map(|(link, val)| {
+                inference.rel(*link).map(|inf| ScoredLink {
+                    link: *link,
+                    validation: *val,
+                    inferred: inf,
+                })
+            })
+            .collect()
+    }
+
+    /// Scored links restricted to one class label (regional or topological).
+    #[must_use]
+    pub fn scored_in_class(&self, classifier_name: &str, class: &str) -> Vec<ScoredLink> {
+        self.scored(classifier_name)
+            .into_iter()
+            .filter(|s| {
+                self.classifier
+                    .region_class(s.link)
+                    .map(|c| c.label() == class)
+                    .unwrap_or(false)
+                    || self.classifier.topo_class(s.link) == class
+            })
+            .collect()
+    }
+
+    /// Builds the Tables 1–3 analogue for one classifier: regional and
+    /// topological class rows merged into one table.
+    #[must_use]
+    pub fn eval_table(&self, classifier_name: &str) -> EvalTable {
+        let scored = self.scored(classifier_name);
+        let regional = EvalTable::build(
+            classifier_name,
+            &scored,
+            |l| self.classifier.region_class(l).map(|c| c.label()),
+            self.config.min_class_links,
+        );
+        let topo = EvalTable::build(
+            classifier_name,
+            &scored,
+            |l| Some(self.classifier.topo_class(l)),
+            self.config.min_class_links,
+        );
+        let mut rows = regional.rows;
+        rows.extend(topo.rows);
+        EvalTable {
+            classifier: classifier_name.to_owned(),
+            total: regional.total,
+            rows,
+        }
+    }
+
+    /// Fig. 1: regional link share vs validation coverage.
+    #[must_use]
+    pub fn fig1(&self) -> Vec<ClassCoverage> {
+        let validated: BTreeSet<Link> = self.validation.labels.keys().copied().collect();
+        coverage_by_class(&self.inferred_links, &validated, |l| {
+            self.classifier.region_class(l).map(|c| c.label())
+        })
+    }
+
+    /// Fig. 2: topological link share vs validation coverage.
+    #[must_use]
+    pub fn fig2(&self) -> Vec<ClassCoverage> {
+        let validated: BTreeSet<Link> = self.validation.labels.keys().copied().collect();
+        coverage_by_class(&self.inferred_links, &validated, |l| {
+            self.classifier
+                .region_class(l)
+                .map(|_| self.classifier.topo_class(l))
+        })
+    }
+
+    /// Figs. 3 / 7 / 8 / 9: (inferred, validated) heatmaps over `TR°` links.
+    #[must_use]
+    pub fn heatmaps(&self, metric: HeatmapMetric) -> (Heatmap, Heatmap) {
+        let tr_links: Vec<Link> = self
+            .inferred_links
+            .iter()
+            .filter(|l| self.classifier.is_tr_tr(**l))
+            .copied()
+            .collect();
+        let validated: Vec<Link> = tr_links
+            .iter()
+            .filter(|l| self.validation.labels.contains_key(l))
+            .copied()
+            .collect();
+
+        let vp_set: BTreeSet<asgraph::Asn> =
+            self.paths.vantage_points().into_iter().collect();
+        let (tr_links, validated) = if metric == HeatmapMetric::PpdcNoVp {
+            (
+                tr_links
+                    .iter()
+                    .filter(|l| !vp_set.contains(&l.a()) && !vp_set.contains(&l.b()))
+                    .copied()
+                    .collect::<Vec<_>>(),
+                validated
+                    .iter()
+                    .filter(|l| !vp_set.contains(&l.a()) && !vp_set.contains(&l.b()))
+                    .copied()
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            (tr_links, validated)
+        };
+
+        let config = match metric {
+            HeatmapMetric::TransitDegree => HeatmapConfig::transit_degree(),
+            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => HeatmapConfig::ppdc(),
+            HeatmapMetric::NodeDegree => HeatmapConfig::node_degree(),
+        };
+        let ppdc: HashMap<asgraph::Asn, usize> = match metric {
+            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => {
+                let rels: HashMap<Link, asgraph::Rel> = self
+                    .inferences
+                    .get("asrank")
+                    .map(|i| i.rels.iter().map(|(l, r)| (*l, *r)).collect())
+                    .unwrap_or_default();
+                cone::ppdc_sizes(&self.paths, &rels)
+            }
+            _ => HashMap::new(),
+        };
+        let metric_fn = |asn: asgraph::Asn| -> usize {
+            match metric {
+                HeatmapMetric::TransitDegree => self.stats.transit_degree(asn),
+                HeatmapMetric::NodeDegree => self.stats.node_degree(asn),
+                HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => {
+                    ppdc.get(&asn).copied().unwrap_or(1)
+                }
+            }
+        };
+        (
+            Heatmap::build(tr_links.iter(), metric_fn, config),
+            Heatmap::build(validated.iter(), metric_fn, config),
+        )
+    }
+}
+
+/// Builds the plain relationship graph of an inference.
+fn graph_of(inference: &Inference) -> AsGraph {
+    let mut g = AsGraph::new();
+    for (link, rel) in &inference.rels {
+        // Conflicts cannot occur (one rel per link); ignore impossible errors.
+        let _ = g.add_rel(*link, *rel);
+    }
+    g
+}
+
+/// Builds the §5 region map from the topology's registry artefacts, going
+/// through the real text formats (IANA table + delegation files).
+fn region_map(topology: &Topology) -> asregistry::RegionMap {
+    let iana = topology.iana_table();
+    let files = topology.delegation_files("20180405");
+    asregistry::RegionMap::build(iana, &files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario::run(ScenarioConfig::small(99))
+    }
+
+    #[test]
+    fn pipeline_produces_everything() {
+        let s = scenario();
+        assert!(s.inferred_links.len() > 1000);
+        assert!(s.validation.len() > 100);
+        assert!(s.inferences.contains_key("asrank"));
+        assert!(s.inferences.contains_key("problink"));
+        assert!(s.inferences.contains_key("toposcope"));
+        let scored = s.scored("asrank");
+        assert!(scored.len() > 100);
+        // Every scored link is both validated and inferred.
+        for sl in scored.iter().take(50) {
+            assert!(s.validation.labels.contains_key(&sl.link));
+        }
+    }
+
+    #[test]
+    fn fig1_shares_sum_to_one() {
+        let s = scenario();
+        let rows = s.fig1();
+        assert!(!rows.is_empty());
+        let sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares sum to {sum}");
+        for r in &rows {
+            assert!(r.coverage >= 0.0 && r.coverage <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fig2_covers_topo_classes() {
+        let s = scenario();
+        let rows = s.fig2();
+        let labels: Vec<&str> = rows.iter().map(|r| r.class.as_str()).collect();
+        assert!(labels.contains(&"S-TR"), "classes: {labels:?}");
+        assert!(labels.contains(&"TR°"), "classes: {labels:?}");
+        assert!(labels.contains(&"S-T1"), "classes: {labels:?}");
+    }
+
+    #[test]
+    fn eval_table_has_total_row() {
+        let s = scenario();
+        let table = s.eval_table("asrank");
+        assert!(table.total.lc_p + table.total.lc_c > 100);
+        assert!(!table.rows.is_empty());
+    }
+
+    #[test]
+    fn heatmaps_are_normalised(){
+        let s = scenario();
+        for metric in [
+            HeatmapMetric::TransitDegree,
+            HeatmapMetric::Ppdc,
+            HeatmapMetric::PpdcNoVp,
+            HeatmapMetric::NodeDegree,
+        ] {
+            let (inf, val) = s.heatmaps(metric);
+            if inf.links > 0 {
+                let sum: f64 = inf.cells.iter().flatten().sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+            }
+            assert!(val.links <= inf.links);
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Text and CSV renderers for every table and figure.
+
+use crate::casestudy::CaseStudyReport;
+use crate::cleaning::CleaningReport;
+use crate::coverage::ClassCoverage;
+use crate::heatmap::Heatmap;
+use crate::metrics::EvalTable;
+use crate::sampling::SamplePoint;
+use std::fmt::Write as _;
+
+/// Renders a Fig. 1 / Fig. 2-style coverage table (share row + coverage row).
+#[must_use]
+pub fn render_coverage(rows: &[ClassCoverage], title: &str) -> String {
+    let mut out = format!("# {title}\n");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>8} {:>12} {:>10}",
+        "class", "links", "share", "validated", "coverage"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>8.2} {:>12} {:>10.2}",
+            r.class, r.inferred_links, r.share, r.validated_links, r.coverage
+        );
+    }
+    out
+}
+
+/// CSV form of a coverage figure.
+#[must_use]
+pub fn coverage_csv(rows: &[ClassCoverage]) -> String {
+    let mut out = String::from("class,links,share,validated,coverage\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{:.4},{},{:.4}",
+            r.class, r.inferred_links, r.share, r.validated_links, r.coverage
+        );
+    }
+    out
+}
+
+/// The paper's colour thresholds relative to the `Total°` row: `↑` ≥ +1 %,
+/// `↓`/`↓↓`/`↓↓↓` for ≥ 1 / 5 / 10 % drops, blank otherwise.
+fn marker(value: f64, total: f64) -> &'static str {
+    let d = value - total;
+    if d >= 0.01 {
+        "↑"
+    } else if d <= -0.10 {
+        "↓↓↓"
+    } else if d <= -0.05 {
+        "↓↓"
+    } else if d <= -0.01 {
+        "↓"
+    } else {
+        ""
+    }
+}
+
+/// Renders a Tables 1–3-style per-class evaluation table.
+#[must_use]
+pub fn render_eval_table(table: &EvalTable) -> String {
+    let mut out = format!("# Per-group validation table for {}\n", table.classifier);
+    let _ = writeln!(
+        out,
+        "{:<8} {:>7}{:<3} {:>7}{:<3} {:>7} {:>7}{:<3} {:>7}{:<3} {:>7} {:>7}{:<3}",
+        "Class", "PPV_P", "", "TPR_P", "", "LC_P", "PPV_C", "", "TPR_C", "", "LC_C", "MCC", ""
+    );
+    let t = &table.total;
+    let render_row = |out: &mut String, label: &str, e: &crate::metrics::ClassEval| {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>7.3}{:<3} {:>7.3}{:<3} {:>7} {:>7.3}{:<3} {:>7.3}{:<3} {:>7} {:>7.3}{:<3}",
+            label,
+            e.p2p.ppv(),
+            marker(e.p2p.ppv(), t.p2p.ppv()),
+            e.p2p.tpr(),
+            marker(e.p2p.tpr(), t.p2p.tpr()),
+            e.lc_p,
+            e.p2c.ppv(),
+            marker(e.p2c.ppv(), t.p2c.ppv()),
+            e.p2c.tpr(),
+            marker(e.p2c.tpr(), t.p2c.tpr()),
+            e.lc_c,
+            e.mcc,
+            marker(e.mcc, t.mcc),
+        );
+    };
+    render_row(&mut out, "Total°", t);
+    for (label, eval) in &table.rows {
+        render_row(&mut out, label, eval);
+    }
+    out
+}
+
+/// CSV form of an evaluation table.
+#[must_use]
+pub fn eval_csv(table: &EvalTable) -> String {
+    let mut out =
+        String::from("class,ppv_p,tpr_p,lc_p,ppv_c,tpr_c,lc_c,mcc,fm,orientation_errors\n");
+    let mut row = |label: &str, e: &crate::metrics::ClassEval| {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{},{:.4},{:.4},{},{:.4},{:.4},{}",
+            label,
+            e.p2p.ppv(),
+            e.p2p.tpr(),
+            e.lc_p,
+            e.p2c.ppv(),
+            e.p2c.tpr(),
+            e.lc_c,
+            e.mcc,
+            e.fm,
+            e.orientation_errors
+        );
+    };
+    row("Total°", &table.total);
+    for (label, eval) in &table.rows {
+        row(label, eval);
+    }
+    out
+}
+
+/// Renders an inference-vs-validation heatmap pair as aligned ASCII grids.
+#[must_use]
+pub fn render_heatmap_pair(inferred: &Heatmap, validated: &Heatmap, title: &str) -> String {
+    let mut out = format!(
+        "# {title}\n# inferred: {} links | validated: {} links | TV distance: {:.3}\n",
+        inferred.links,
+        validated.links,
+        inferred.tv_distance(validated)
+    );
+    let shade = |v: f64| -> char {
+        match v {
+            v if v >= 0.12 => '█',
+            v if v >= 0.08 => '▓',
+            v if v >= 0.04 => '▒',
+            v if v >= 0.005 => '░',
+            v if v > 0.0 => '·',
+            _ => ' ',
+        }
+    };
+    let _ = writeln!(out, "  inference (rows: smaller metric ↑, cols: larger →)");
+    for row in inferred.cells.iter().rev() {
+        let line: String = row.iter().map(|v| shade(*v)).collect();
+        let _ = writeln!(out, "  |{line}|");
+    }
+    let _ = writeln!(out, "  validation");
+    for row in validated.cells.iter().rev() {
+        let line: String = row.iter().map(|v| shade(*v)).collect();
+        let _ = writeln!(out, "  |{line}|");
+    }
+    let _ = writeln!(
+        out,
+        "  bottom-left mass: inferred {:.2}, validated {:.2}",
+        inferred.bottom_left_mass(),
+        validated.bottom_left_mass()
+    );
+    out
+}
+
+/// CSV form of one heatmap (`y,x,fraction` triples).
+#[must_use]
+pub fn heatmap_csv(hm: &Heatmap) -> String {
+    let mut out = String::from("y_bin,x_bin,fraction\n");
+    for (y, row) in hm.cells.iter().enumerate() {
+        for (x, v) in row.iter().enumerate() {
+            let _ = writeln!(out, "{y},{x},{v:.6}");
+        }
+    }
+    out
+}
+
+/// Renders the Appendix A sweep (Figs. 4–6) as a table.
+#[must_use]
+pub fn render_sampling(points: &[SamplePoint], class: &str) -> String {
+    let mut out = format!("# Sampling sweep for class {class} (median [q1, q3])\n");
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>22}  {:>22}  {:>22}",
+        "%", "PPV_P", "TPR_P", "MCC"
+    );
+    for p in points {
+        let f = |m: &crate::sampling::MetricSpread| {
+            format!("{:.3} [{:.3}, {:.3}]", m.median, m.q1, m.q3)
+        };
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>22}  {:>22}  {:>22}",
+            p.percent,
+            f(&p.ppv_p),
+            f(&p.tpr_p),
+            f(&p.mcc)
+        );
+    }
+    out
+}
+
+/// CSV form of the sampling sweep.
+#[must_use]
+pub fn sampling_csv(points: &[SamplePoint]) -> String {
+    let mut out = String::from(
+        "percent,ppv_p_median,ppv_p_q1,ppv_p_q3,tpr_p_median,tpr_p_q1,tpr_p_q3,mcc_median,mcc_q1,mcc_q3\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+            p.percent,
+            p.ppv_p.median,
+            p.ppv_p.q1,
+            p.ppv_p.q3,
+            p.tpr_p.median,
+            p.tpr_p.q1,
+            p.tpr_p.q3,
+            p.mcc.median,
+            p.mcc.q1,
+            p.mcc.q3
+        );
+    }
+    out
+}
+
+/// Renders the §4.2 cleaning census.
+#[must_use]
+pub fn render_cleaning(report: &CleaningReport) -> String {
+    let mut out = String::from("# Label quality & treatment (§4.2)\n");
+    let _ = writeln!(out, "raw validated links:        {}", report.raw_links);
+    let _ = writeln!(out, "AS_TRANS entries dropped:   {}", report.as_trans_dropped);
+    let _ = writeln!(out, "reserved-ASN entries:       {}", report.reserved_dropped);
+    let _ = writeln!(out, "multi-label (ambiguous):    {}", report.ambiguous_found);
+    let _ = writeln!(out, "  dropped by policy:        {}", report.ambiguous_dropped);
+    let _ = writeln!(out, "sibling links dropped:      {}", report.sibling_dropped);
+    let _ = writeln!(out, "S2S-labelled entries:       {}", report.s2s_label_dropped);
+    let _ = writeln!(out, "clean links remaining:      {}", report.clean_links);
+    out
+}
+
+/// Renders the §3.3 hard-link report.
+#[must_use]
+pub fn render_hard_links(report: &crate::hardlinks::HardLinkReport) -> String {
+    let mut out = String::from("# Hard links (§3.3, after Jin et al.)\n");
+    let _ = writeln!(
+        out,
+        "hard links: {}/{} ({:.1}%)",
+        report.hard_links,
+        report.total_links,
+        100.0 * report.hard_links as f64 / report.total_links.max(1) as f64
+    );
+    let _ = writeln!(
+        out,
+        "validation coverage: hard {:.3} vs easy {:.3}",
+        report.hard_coverage, report.easy_coverage
+    );
+    let _ = writeln!(
+        out,
+        "classifier error rate: hard {:.3} vs easy {:.3}",
+        report.hard_error_rate, report.easy_error_rate
+    );
+    let _ = writeln!(out, "per criterion (observed → validated):");
+    for (name, observed, validated) in &report.per_criterion {
+        let _ = writeln!(
+            out,
+            "  {name:<26} {observed:>7} → {validated:>6} ({:.3})",
+            *validated as f64 / (*observed).max(1) as f64
+        );
+    }
+    out
+}
+
+/// Renders Appendix C feature-vs-error quartile rows.
+#[must_use]
+pub fn render_feature_errors(rows: &[crate::linkfeatures::FeatureErrorRow]) -> String {
+    let mut out = String::from("# Error rate by feature quartile (Appendix C)\n");
+    let _ = writeln!(out, "{:<26} {:<10} {:>8} {:>10}", "feature", "bucket", "links", "error");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<26} {:<10} {:>8} {:>10.3}",
+            r.feature, r.bucket, r.links, r.error_rate
+        );
+    }
+    out
+}
+
+/// Renders the §6.1 case study.
+#[must_use]
+pub fn render_case_study(report: &CaseStudyReport) -> String {
+    let mut out = String::from("# Case study: wrongly-inferred-P2P T1-TR links (§6.1)\n");
+    let _ = writeln!(out, "total target links: {}", report.total_targets);
+    let _ = writeln!(out, "per Tier-1:");
+    for (asn, n) in &report.per_tier1 {
+        let focus = if *asn == report.focus { "  ← focus" } else { "" };
+        let _ = writeln!(out, "  {asn}: {n}{focus}");
+    }
+    let zero_triplets = report
+        .findings
+        .iter()
+        .filter(|f| f.clique_triplets == 0)
+        .count();
+    let _ = writeln!(
+        out,
+        "focus {}: {}/{} target links have NO clique|T1|X triplet",
+        report.focus,
+        zero_triplets,
+        report.findings.len()
+    );
+    let _ = writeln!(
+        out,
+        "looking-glass verdicts: {} partial transit (…:990 tagged), {} inaccurate validation",
+        report.partial_transit, report.inaccurate_validation
+    );
+    for f in report.findings.iter().take(20) {
+        let _ = writeln!(
+            out,
+            "  {}: triplets={} reason={:?}",
+            f.link, f.clique_triplets, f.reason
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{ClassEval, ScoredLink};
+    use asgraph::{Asn, Link, Rel};
+
+    fn sample_eval() -> EvalTable {
+        let scored: Vec<ScoredLink> = (0..100)
+            .map(|i| ScoredLink {
+                link: Link::new(Asn(i + 1), Asn(i + 1000)).unwrap(),
+                validation: if i % 3 == 0 {
+                    Rel::P2p
+                } else {
+                    Rel::P2c { provider: Asn(i + 1) }
+                },
+                inferred: if i % 9 == 0 {
+                    Rel::P2c { provider: Asn(i + 1) }
+                } else if i % 3 == 0 {
+                    Rel::P2p
+                } else {
+                    Rel::P2c { provider: Asn(i + 1) }
+                },
+            })
+            .collect();
+        EvalTable {
+            classifier: "test".into(),
+            total: ClassEval::evaluate("Total°", &scored),
+            rows: [("X".to_string(), ClassEval::evaluate("X", &scored))]
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn eval_render_contains_columns() {
+        let text = render_eval_table(&sample_eval());
+        assert!(text.contains("PPV_P"));
+        assert!(text.contains("Total°"));
+        assert!(text.contains("MCC"));
+        let csv = eval_csv(&sample_eval());
+        assert!(csv.lines().count() >= 3);
+        assert!(csv.starts_with("class,"));
+    }
+
+    #[test]
+    fn markers_follow_thresholds() {
+        assert_eq!(marker(0.95, 0.90), "↑");
+        assert_eq!(marker(0.90, 0.90), "");
+        assert_eq!(marker(0.88, 0.90), "↓");
+        assert_eq!(marker(0.84, 0.90), "↓↓");
+        assert_eq!(marker(0.75, 0.90), "↓↓↓");
+    }
+
+    #[test]
+    fn coverage_render() {
+        let rows = vec![ClassCoverage {
+            class: "R°".into(),
+            inferred_links: 100,
+            share: 0.39,
+            validated_links: 15,
+            coverage: 0.15,
+        }];
+        let text = render_coverage(&rows, "Fig 1");
+        assert!(text.contains("R°"));
+        let csv = coverage_csv(&rows);
+        assert!(csv.contains("R°,100,0.3900,15,0.1500"));
+    }
+
+    #[test]
+    fn heatmap_render() {
+        let cfg = crate::heatmap::HeatmapConfig {
+            x_bins: 3,
+            y_bins: 3,
+            x_max: 30,
+            y_max: 30,
+        };
+        let links = [Link::new(Asn(1), Asn(2)).unwrap()];
+        let hm = Heatmap::build(links.iter(), |a| a.0 as usize, cfg);
+        let text = render_heatmap_pair(&hm, &hm, "Fig 3");
+        assert!(text.contains("TV distance: 0.000"));
+        let csv = heatmap_csv(&hm);
+        assert_eq!(csv.lines().count(), 10); // header + 9 cells
+    }
+}

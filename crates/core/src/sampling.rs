@@ -1,0 +1,205 @@
+//! Appendix A — does performance correlate with validation coverage?
+//!
+//! Uniformly subsample a class's validated links at 50–99 % of the original
+//! size (1 % steps, 100 trials each) and track PPV_P / TPR_P / MCC. The paper
+//! finds medians flat and variance growing as samples shrink — poor
+//! per-class performance is not an artifact of small coverage.
+
+use crate::metrics::{confusion, ScoredLink};
+use asgraph::RelClass;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one metric across trials at one sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricSpread {
+    /// Median across trials.
+    pub median: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 75th percentile.
+    pub q3: f64,
+}
+
+impl MetricSpread {
+    fn of(mut values: Vec<f64>) -> Self {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |p: f64| -> f64 {
+            if values.is_empty() {
+                return 0.0;
+            }
+            let idx = (p * (values.len() - 1) as f64).round() as usize;
+            values[idx.min(values.len() - 1)]
+        };
+        MetricSpread {
+            median: q(0.5),
+            q1: q(0.25),
+            q3: q(0.75),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Results at one sample size (one x position of Figs. 4–6).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Sample size as a percentage of the full set.
+    pub percent: usize,
+    /// Precision with P2P positive.
+    pub ppv_p: MetricSpread,
+    /// Recall with P2P positive.
+    pub tpr_p: MetricSpread,
+    /// Matthews correlation coefficient.
+    pub mcc: MetricSpread,
+}
+
+/// Configuration of the subsampling sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingConfig {
+    /// Smallest sample size (percent).
+    pub min_percent: usize,
+    /// Largest sample size (percent).
+    pub max_percent: usize,
+    /// Step between sizes (percent).
+    pub step: usize,
+    /// Trials per size.
+    pub trials: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            min_percent: 50,
+            max_percent: 99,
+            step: 1,
+            trials: 100,
+            seed: 2018,
+        }
+    }
+}
+
+/// Runs the Appendix A experiment over one class's scored links.
+#[must_use]
+pub fn sampling_sweep(scored: &[ScoredLink], cfg: &SamplingConfig) -> Vec<SamplePoint> {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut points = Vec::new();
+    let mut pool: Vec<ScoredLink> = scored.to_vec();
+    let mut percent = cfg.min_percent;
+    while percent <= cfg.max_percent {
+        let size = (scored.len() * percent) / 100;
+        let mut ppv = Vec::with_capacity(cfg.trials);
+        let mut tpr = Vec::with_capacity(cfg.trials);
+        let mut mcc = Vec::with_capacity(cfg.trials);
+        for _ in 0..cfg.trials {
+            pool.shuffle(&mut rng);
+            let sample = &pool[..size.min(pool.len())];
+            let m = confusion(sample, RelClass::P2p);
+            ppv.push(m.ppv());
+            tpr.push(m.tpr());
+            mcc.push(m.mcc());
+        }
+        points.push(SamplePoint {
+            percent,
+            ppv_p: MetricSpread::of(ppv),
+            tpr_p: MetricSpread::of(tpr),
+            mcc: MetricSpread::of(mcc),
+        });
+        percent += cfg.step.max(1);
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgraph::{Asn, Link, Rel};
+
+    fn scored_set(n: usize, wrong_every: usize) -> Vec<ScoredLink> {
+        (0..n)
+            .map(|i| {
+                let link = Link::new(Asn(1000 + i as u32), Asn(5000 + i as u32)).unwrap();
+                let validation = Rel::P2p;
+                let inferred = if i % wrong_every == 0 {
+                    Rel::P2c {
+                        provider: link.a(),
+                    }
+                } else {
+                    Rel::P2p
+                };
+                ScoredLink {
+                    link,
+                    validation,
+                    inferred,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn medians_are_flat_variance_grows() {
+        let scored = scored_set(600, 10); // TPR_P = 0.9
+        let cfg = SamplingConfig {
+            min_percent: 50,
+            max_percent: 99,
+            step: 7,
+            trials: 40,
+            seed: 7,
+        };
+        let points = sampling_sweep(&scored, &cfg);
+        assert!(points.len() >= 7);
+        // Median TPR stays near 0.9 at every size.
+        for p in &points {
+            assert!(
+                (p.tpr_p.median - 0.9).abs() < 0.03,
+                "median drifted at {}%: {}",
+                p.percent,
+                p.tpr_p.median
+            );
+        }
+        // IQR at the smallest size ≥ IQR at the largest.
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        assert!(first.tpr_p.iqr() >= last.tpr_p.iqr());
+    }
+
+    #[test]
+    fn deterministic() {
+        let scored = scored_set(100, 5);
+        let cfg = SamplingConfig {
+            trials: 10,
+            step: 10,
+            ..SamplingConfig::default()
+        };
+        let a = sampling_sweep(&scored, &cfg);
+        let b = sampling_sweep(&scored, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_zeroes() {
+        let cfg = SamplingConfig {
+            trials: 3,
+            step: 25,
+            ..SamplingConfig::default()
+        };
+        let points = sampling_sweep(&[], &cfg);
+        assert!(!points.is_empty());
+        assert_eq!(points[0].ppv_p.median, 0.0);
+    }
+
+    #[test]
+    fn spread_quartiles_ordered() {
+        let s = MetricSpread::of(vec![0.1, 0.9, 0.5, 0.3, 0.7]);
+        assert!(s.q1 <= s.median && s.median <= s.q3);
+        assert!((s.median - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Regional ASN allocation pools and the synthetic IANA table.
+//!
+//! Each region owns one 16-bit and one 32-bit pool (mirroring how IANA hands
+//! 1024-blocks to RIRs). The allocator draws from the 16-bit pool until a
+//! per-region probability sends a registrant to the 32-bit pool — LACNIC and
+//! RIPE assign mostly 32-bit ASNs today, ARIN mostly legacy 16-bit ones. The
+//! 32-bit population is what makes `AS_TRANS` substitution (and the §4.2
+//! spurious labels) happen at 16-bit vantage points.
+
+use asgraph::Asn;
+use asregistry::{iana::BlockAuthority, IanaAsnTable, RirRegion};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// One region's two allocation pools.
+#[derive(Debug, Clone, Copy)]
+pub struct RegionPools {
+    /// The owning region.
+    pub region: RirRegion,
+    /// 16-bit pool (inclusive).
+    pub pool16: (u32, u32),
+    /// 32-bit pool (inclusive).
+    pub pool32: (u32, u32),
+}
+
+/// The fixed pool plan (synthetic but shaped like the real registry: ARIN owns
+/// the low legacy space, RIPE the largest 32-bit span, etc.).
+pub const POOLS: [RegionPools; 5] = [
+    RegionPools {
+        region: RirRegion::Afrinic,
+        pool16: (36_000, 37_500),
+        pool32: (327_680, 329_999),
+    },
+    RegionPools {
+        region: RirRegion::Apnic,
+        pool16: (17_001, 24_500),
+        pool32: (131_072, 141_000),
+    },
+    RegionPools {
+        region: RirRegion::Arin,
+        pool16: (1, 7_000),
+        pool32: (390_000, 399_999),
+    },
+    RegionPools {
+        region: RirRegion::Lacnic,
+        pool16: (26_000, 28_700),
+        pool32: (260_000, 269_999),
+    },
+    RegionPools {
+        region: RirRegion::RipeNcc,
+        pool16: (7_001, 16_999),
+        pool32: (196_608, 216_000),
+    },
+];
+
+/// Returns the pools for `region`.
+#[must_use]
+pub fn pools_for(region: RirRegion) -> RegionPools {
+    POOLS
+        .iter()
+        .copied()
+        .find(|p| p.region == region)
+        .expect("POOLS covers all regions")
+}
+
+/// Builds the synthetic IANA initial-assignment table from the pool plan.
+#[must_use]
+pub fn iana_table() -> IanaAsnTable {
+    // Collect (start, end, authority) for every pool, then emit in ascending
+    // order with Reserved/Unallocated gaps implicit (absent blocks).
+    let mut spans: Vec<(u32, u32, BlockAuthority)> = POOLS
+        .iter()
+        .flat_map(|p| {
+            [
+                (p.pool16.0, p.pool16.1, BlockAuthority::Rir(p.region)),
+                (p.pool32.0, p.pool32.1, BlockAuthority::Rir(p.region)),
+            ]
+        })
+        .collect();
+    spans.sort_by_key(|s| s.0);
+    let mut table = IanaAsnTable::new();
+    for (start, end, auth) in spans {
+        table
+            .push_block(start, end, auth)
+            .expect("POOLS is sorted and non-overlapping");
+    }
+    table
+}
+
+/// Sequential-with-jitter ASN allocator over the regional pools.
+#[derive(Debug)]
+pub struct AsnAllocator {
+    used: BTreeSet<u32>,
+    cursors16: [u32; 5],
+    cursors32: [u32; 5],
+}
+
+impl AsnAllocator {
+    /// A fresh allocator; `reserved` ASNs (e.g. the well-known Tier-1 and
+    /// hypergiant numbers) are pre-marked as used.
+    #[must_use]
+    pub fn new(reserved: &[Asn]) -> Self {
+        AsnAllocator {
+            used: reserved.iter().map(|a| a.0).collect(),
+            cursors16: [0; 5],
+            cursors32: [0; 5],
+        }
+    }
+
+    fn region_idx(region: RirRegion) -> usize {
+        RirRegion::ALL
+            .iter()
+            .position(|r| *r == region)
+            .expect("exhaustive")
+    }
+
+    /// Allocates the next free ASN in `region`; `four_byte_prob` selects the
+    /// 32-bit pool. Skips IANA-reserved values (`AS_TRANS` sits inside the
+    /// APNIC 16-bit pool, as in reality) and already-used values.
+    ///
+    /// Returns `None` only if both pools are exhausted.
+    pub fn allocate<R: Rng>(
+        &mut self,
+        region: RirRegion,
+        four_byte_prob: f64,
+        rng: &mut R,
+    ) -> Option<Asn> {
+        let pools = pools_for(region);
+        let idx = Self::region_idx(region);
+        let four_byte = rng.random_bool(four_byte_prob.clamp(0.0, 1.0));
+        let order: [((u32, u32), bool); 2] = if four_byte {
+            [(pools.pool32, false), (pools.pool16, true)]
+        } else {
+            [(pools.pool16, true), (pools.pool32, false)]
+        };
+        for ((lo, hi), is16) in order {
+            let cursor = if is16 {
+                &mut self.cursors16[idx]
+            } else {
+                &mut self.cursors32[idx]
+            };
+            let mut candidate = lo + *cursor;
+            while candidate <= hi {
+                *cursor = candidate - lo + 1;
+                if !Asn(candidate).is_reserved() && self.used.insert(candidate) {
+                    return Some(Asn(candidate));
+                }
+                candidate += 1;
+            }
+        }
+        None
+    }
+
+    /// Number of allocated ASNs (including pre-reserved ones).
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.used.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn iana_table_covers_pools() {
+        let t = iana_table();
+        for p in POOLS {
+            assert_eq!(t.initial_region(Asn(p.pool16.0)), Some(p.region));
+            assert_eq!(t.initial_region(Asn(p.pool16.1)), Some(p.region));
+            assert_eq!(t.initial_region(Asn(p.pool32.0)), Some(p.region));
+        }
+        // Gap between pools is unassigned.
+        assert_eq!(t.initial_region(Asn(25_000)), None);
+    }
+
+    #[test]
+    fn iana_table_text_roundtrip() {
+        let t = iana_table();
+        let parsed = IanaAsnTable::parse(&t.to_text()).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn allocator_skips_reserved_and_used() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut alloc = AsnAllocator::new(&[Asn(17_001)]);
+        // APNIC 16-bit pool contains AS_TRANS (23456): exhaustively allocate
+        // past it and verify it is never handed out.
+        let mut got = Vec::new();
+        for _ in 0..7_000 {
+            if let Some(a) = alloc.allocate(RirRegion::Apnic, 0.0, &mut rng) {
+                got.push(a);
+            }
+        }
+        assert!(!got.contains(&Asn(23_456)), "AS_TRANS must never be allocated");
+        assert!(!got.contains(&Asn(17_001)), "pre-reserved ASN must be skipped");
+        // All unique.
+        let set: BTreeSet<Asn> = got.iter().copied().collect();
+        assert_eq!(set.len(), got.len());
+    }
+
+    #[test]
+    fn four_byte_prob_selects_pool() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut alloc = AsnAllocator::new(&[]);
+        let a16 = alloc.allocate(RirRegion::Lacnic, 0.0, &mut rng).unwrap();
+        assert!(!a16.is_four_byte());
+        let a32 = alloc.allocate(RirRegion::Lacnic, 1.0, &mut rng).unwrap();
+        assert!(a32.is_four_byte());
+    }
+
+    #[test]
+    fn overflow_to_other_pool() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut alloc = AsnAllocator::new(&[]);
+        // AFRINIC 16-bit pool holds 1501 ASNs; allocate 1600 with prob 0 and
+        // expect spill into the 32-bit pool rather than failure.
+        let mut four_byte = 0;
+        for _ in 0..1_600 {
+            let a = alloc.allocate(RirRegion::Afrinic, 0.0, &mut rng).unwrap();
+            if a.is_four_byte() {
+                four_byte += 1;
+            }
+        }
+        assert!(four_byte > 0);
+    }
+}

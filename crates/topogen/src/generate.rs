@@ -1,0 +1,1055 @@
+//! The topology generator.
+//!
+//! Construction order guarantees an acyclic provider hierarchy: Tier-1s first,
+//! then large transits, small transits, hypergiants, special stubs, stubs —
+//! every customer only ever selects providers created before it.
+
+use crate::alloc::AsnAllocator;
+use crate::config::{per_region, TopologyConfig};
+use crate::model::{AsInfo, CollectorPeer, SpecialRole, TierClass, Topology};
+use asgraph::{Asn, GtRel, Link, Rel};
+use asregistry::{org::OrgId, RirRegion};
+use bgpwire::Ipv4Prefix;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Well-known Tier-1 ASNs used for the first clique members (flavour +
+/// stable case-study targets; AS174 is the Cogent-like partial-transit AS).
+const KNOWN_TIER1: [(u32, RirRegion); 12] = [
+    (174, RirRegion::Arin),
+    (701, RirRegion::Arin),
+    (1299, RirRegion::RipeNcc),
+    (2914, RirRegion::Arin),
+    (3257, RirRegion::RipeNcc),
+    (3320, RirRegion::RipeNcc),
+    (3356, RirRegion::Arin),
+    (3491, RirRegion::Arin),
+    (5511, RirRegion::RipeNcc),
+    (6453, RirRegion::Arin),
+    (6461, RirRegion::Arin),
+    (7018, RirRegion::Arin),
+];
+
+/// Well-known hypergiant ASNs (content networks).
+const KNOWN_HYPERGIANTS: [(u32, RirRegion); 12] = [
+    (15169, RirRegion::Arin),
+    (16509, RirRegion::Arin),
+    (8075, RirRegion::Arin),
+    (20940, RirRegion::RipeNcc),
+    (13335, RirRegion::Arin),
+    (2906, RirRegion::Arin),
+    (22822, RirRegion::Arin),
+    (54113, RirRegion::Arin),
+    (32934, RirRegion::Arin),
+    (16276, RirRegion::RipeNcc),
+    (714, RirRegion::Arin),
+    (46489, RirRegion::Arin),
+];
+
+struct Builder<'c> {
+    cfg: &'c TopologyConfig,
+    rng: ChaCha8Rng,
+    alloc: AsnAllocator,
+    ases: BTreeMap<Asn, AsInfo>,
+    links: BTreeMap<Link, GtRel>,
+    customer_count: BTreeMap<Asn, usize>,
+    prefix_counter: u32,
+    org_counter: u32,
+}
+
+impl<'c> Builder<'c> {
+    fn new(cfg: &'c TopologyConfig) -> Self {
+        let reserved: Vec<Asn> = KNOWN_TIER1
+            .iter()
+            .chain(KNOWN_HYPERGIANTS.iter())
+            .map(|(a, _)| Asn(*a))
+            .collect();
+        Builder {
+            cfg,
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            alloc: AsnAllocator::new(&reserved),
+            ases: BTreeMap::new(),
+            links: BTreeMap::new(),
+            customer_count: BTreeMap::new(),
+            prefix_counter: 0,
+            org_counter: 0,
+        }
+    }
+
+    /// Poisson-ish count: Knuth for small means, normal approximation above.
+    fn sample_count(&mut self, mean: f64) -> usize {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean < 25.0 {
+            let l = (-mean).exp();
+            let mut k = 0usize;
+            let mut p = 1.0;
+            loop {
+                p *= self.rng.random::<f64>();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+                if k > 1000 {
+                    return k;
+                }
+            }
+        } else {
+            // Box–Muller normal approximation.
+            let u1: f64 = self.rng.random::<f64>().max(1e-12);
+            let u2: f64 = self.rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mean + mean.sqrt() * z).round().max(0.0) as usize
+        }
+    }
+
+    fn sample_region(&mut self) -> RirRegion {
+        let x: f64 = self.rng.random();
+        let mut acc = 0.0;
+        for (i, r) in RirRegion::ALL.into_iter().enumerate() {
+            acc += self.cfg.region_weights[i];
+            if x < acc {
+                return r;
+            }
+        }
+        RirRegion::RipeNcc
+    }
+
+    fn sample_vp_region(&mut self) -> RirRegion {
+        let x: f64 = self.rng.random();
+        let mut acc = 0.0;
+        for (i, r) in RirRegion::ALL.into_iter().enumerate() {
+            acc += self.cfg.vp_region_weights[i];
+            if x < acc {
+                return r;
+            }
+        }
+        RirRegion::RipeNcc
+    }
+
+    fn sample_country(&mut self, region: RirRegion) -> String {
+        let codes = region.country_codes();
+        codes[self.rng.random_range(0..codes.len())].to_owned()
+    }
+
+    fn next_org(&mut self) -> OrgId {
+        self.org_counter += 1;
+        OrgId(format!("@org-{:05}", self.org_counter))
+    }
+
+    fn next_prefixes(&mut self, mean: f64) -> Vec<Ipv4Prefix> {
+        let n = (1 + self.sample_count((mean - 1.0).max(0.0))).min(8);
+        (0..n)
+            .map(|_| {
+                self.prefix_counter += 1;
+                // Lay prefixes out as /24s starting at 1.0.0.0.
+                Ipv4Prefix::new(0x0100_0000 + self.prefix_counter * 256, 24)
+                    .expect("24 ≤ 32")
+            })
+            .collect()
+    }
+
+    /// Publication probability given the AS's final size — run as a
+    /// post-pass once customer counts are known: community documentation is
+    /// a big-carrier habit.
+    fn publish_probability(&self, region: RirRegion, tier: TierClass, customers: usize) -> f64 {
+        if tier == TierClass::Tier1 {
+            return self.cfg.publish_prob_tier1.clamp(0.0, 1.0);
+        }
+        let base = per_region(&self.cfg.publish_prob_region, region);
+        let mult = match tier {
+            TierClass::Tier1 => unreachable!("handled above"),
+            TierClass::Transit => {
+                if customers >= self.cfg.publish_large_customer_threshold {
+                    self.cfg.publish_mult_large_transit
+                } else {
+                    self.cfg.publish_mult_transit
+                }
+            }
+            TierClass::Stub => self.cfg.publish_mult_stub,
+            TierClass::Hypergiant => self.cfg.publish_mult_hypergiant,
+        };
+        (base * mult).clamp(0.0, 1.0)
+    }
+
+    /// Creates an AS. `fixed_asn` pins a well-known number; otherwise the
+    /// allocator draws from the regional pools (possibly in a *different*
+    /// region when the ASN was transferred).
+    fn create_as(
+        &mut self,
+        region: RirRegion,
+        tier: TierClass,
+        special: Option<SpecialRole>,
+        fixed_asn: Option<Asn>,
+    ) -> Asn {
+        // Inter-RIR transfer: the ASN was originally allocated elsewhere.
+        let allocated_region = if fixed_asn.is_none() && self.rng.random_bool(self.cfg.transfer_prob)
+        {
+            let others: Vec<RirRegion> = RirRegion::ALL
+                .into_iter()
+                .filter(|r| *r != region)
+                .collect();
+            others[self.rng.random_range(0..others.len())]
+        } else {
+            region
+        };
+        let asn = match fixed_asn {
+            Some(a) => a,
+            None => {
+                let p4 = per_region(&self.cfg.four_byte_asn_prob, allocated_region);
+                self.alloc
+                    .allocate(allocated_region, p4, &mut self.rng)
+                    .expect("ASN pools sized for the configured population")
+            }
+        };
+        let country = self.sample_country(region);
+        let org = self.next_org();
+        // Decided by the post-pass once sizes are known.
+        let publishes_communities = false;
+        let prepend_p = if region == RirRegion::Lacnic {
+            self.cfg.lacnic_prepend_prob
+        } else {
+            self.cfg.base_prepend_prob
+        };
+        // Path prepending is an edge-network TE habit; Tier-1s never prepend
+        // (a prepending Tier-1 would systematically hide its customer links
+        // from every lateral best path).
+        let prepends = tier != TierClass::Tier1 && self.rng.random_bool(prepend_p);
+        let mean_prefixes = match tier {
+            TierClass::Transit | TierClass::Tier1 => self.cfg.transit_mean_prefixes,
+            _ => self.cfg.mean_prefixes_per_as,
+        };
+        let prefixes = self.next_prefixes(mean_prefixes);
+        // Routing-hygiene behaviour flags (Appendix C feature 12): MANRS
+        // membership correlates with running a documented NOC; serial
+        // hijacking is rare and concentrated among small networks.
+        let manrs = self.rng.random_bool(match tier {
+            TierClass::Tier1 => 0.6,
+            TierClass::Transit => 0.18,
+            TierClass::Hypergiant => 0.5,
+            TierClass::Stub => 0.05,
+        });
+        let hijacker = tier == TierClass::Stub && self.rng.random_bool(0.004);
+        self.ases.insert(
+            asn,
+            AsInfo {
+                asn,
+                region,
+                allocated_region,
+                country,
+                org,
+                tier,
+                special,
+                prefix_te: vec![None; prefixes.len()],
+                prefixes,
+                publishes_communities,
+                prepends,
+                manrs,
+                hijacker,
+            },
+        );
+        asn
+    }
+
+    /// Adds a link unless it already exists (first relationship wins).
+    fn add_link(&mut self, a: Asn, b: Asn, rel: GtRel) -> bool {
+        let Some(link) = Link::new(a, b) else {
+            return false;
+        };
+        if self.links.contains_key(&link) {
+            return false;
+        }
+        if let Rel::P2c { provider } = rel.base {
+            if let Some(customer) = link.other(provider) {
+                *self.customer_count.entry(provider).or_insert(0) += 1;
+                let _ = customer;
+            }
+        }
+        self.links.insert(link, rel);
+        true
+    }
+
+    fn p2c(&mut self, provider: Asn, customer: Asn) -> bool {
+        self.add_link(provider, customer, GtRel::simple(Rel::P2c { provider }))
+    }
+
+    fn p2p(&mut self, a: Asn, b: Asn) -> bool {
+        self.add_link(a, b, GtRel::simple(Rel::P2p))
+    }
+
+    /// Weighted provider choice with preferential attachment
+    /// (weight = customers + 1).
+    fn choose_provider(&mut self, candidates: &[Asn]) -> Option<Asn> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let exp = self.cfg.pa_exponent;
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|a| ((self.customer_count.get(a).copied().unwrap_or(0) + 1) as f64).powf(exp))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut x = self.rng.random::<f64>() * total;
+        for (a, w) in candidates.iter().zip(&weights) {
+            x -= w;
+            if x <= 0.0 {
+                return Some(*a);
+            }
+        }
+        candidates.last().copied()
+    }
+}
+
+/// Generates a topology from `cfg`. Deterministic under `cfg.seed`.
+#[must_use]
+pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let mut b = Builder::new(cfg);
+
+    // ---- 1. Tier-1 clique ---------------------------------------------------
+    let mut tier1: Vec<Asn> = Vec::with_capacity(cfg.n_tier1);
+    for i in 0..cfg.n_tier1 {
+        let asn = if i < KNOWN_TIER1.len() {
+            let (num, region) = KNOWN_TIER1[i];
+            b.create_as(region, TierClass::Tier1, None, Some(Asn(num)))
+        } else {
+            let region = if i % 2 == 0 {
+                RirRegion::Arin
+            } else {
+                RirRegion::RipeNcc
+            };
+            b.create_as(region, TierClass::Tier1, None, None)
+        };
+        tier1.push(asn);
+    }
+    let cogent = tier1[0];
+    for i in 0..tier1.len() {
+        for j in (i + 1)..tier1.len() {
+            b.p2p(tier1[i], tier1[j]);
+        }
+    }
+
+    // ---- 2. Transit hierarchy -------------------------------------------------
+    let n_large = ((cfg.n_transit as f64) * cfg.large_transit_share).round() as usize;
+    let mut large_transit: Vec<Asn> = Vec::with_capacity(n_large);
+    let mut transits_by_region: BTreeMap<RirRegion, Vec<Asn>> = BTreeMap::new();
+    let mut all_transit: Vec<Asn> = Vec::with_capacity(cfg.n_transit);
+
+    for i in 0..cfg.n_transit {
+        let region = b.sample_region();
+        let asn = b.create_as(region, TierClass::Transit, None, None);
+        if i < n_large {
+            // Large transit: 2–3 Tier-1 providers, chosen uniformly.
+            let n_prov = 2 + usize::from(b.rng.random_bool(0.5));
+            let mut t1_pool = tier1.clone();
+            t1_pool.shuffle(&mut b.rng);
+            for provider in t1_pool.into_iter().take(n_prov) {
+                b.p2c(provider, asn);
+            }
+            // Many large transits additionally *peer* with Tier-1s they do
+            // not buy from (regional incumbents, settlement-free).
+            if b.rng.random_bool(0.85) {
+                let n_peerings = 2 + b.sample_count(0.9);
+                for _ in 0..n_peerings {
+                    let t1 = tier1[b.rng.random_range(0..tier1.len())];
+                    b.p2p(t1, asn);
+                }
+            }
+            large_transit.push(asn);
+        } else {
+            // Small transit: providers among earlier transits (same region
+            // preferred) and occasionally a Tier-1 directly.
+            let n_prov = (1 + b.sample_count((cfg.transit_mean_providers - 1.0).max(0.0))).min(4);
+            for _ in 0..n_prov {
+                if b.rng.random_bool(cfg.transit_direct_t1_prob) {
+                    let t1 = tier1[b.rng.random_range(0..tier1.len())];
+                    b.p2c(t1, asn);
+                    continue;
+                }
+                let cross = b.rng.random_bool(cfg.cross_region_provider_prob);
+                let pool: Vec<Asn> = if cross {
+                    all_transit.clone()
+                } else {
+                    transits_by_region.get(&region).cloned().unwrap_or_default()
+                };
+                let pool: Vec<Asn> = if pool.is_empty() {
+                    large_transit.clone()
+                } else {
+                    pool
+                };
+                if let Some(provider) = b.choose_provider(&pool) {
+                    if provider != asn {
+                        b.p2c(provider, asn);
+                    }
+                }
+            }
+        }
+        transits_by_region.entry(region).or_default().push(asn);
+        all_transit.push(asn);
+    }
+
+    // ---- 2b. Global peering among transits ---------------------------------------
+    // Large transits interconnect globally (transatlantic private peering);
+    // smaller transits do so occasionally.
+    for i in 0..large_transit.len() {
+        let k = b.sample_count(cfg.large_transit_peering);
+        for _ in 0..k {
+            let j = b.rng.random_range(0..large_transit.len());
+            if i != j {
+                b.p2p(large_transit[i], large_transit[j]);
+            }
+        }
+    }
+    let smalls: Vec<Asn> = all_transit
+        .iter()
+        .copied()
+        .filter(|a| !large_transit.contains(a))
+        .collect();
+    for &s in &smalls {
+        let k = b.sample_count(cfg.small_transit_peering);
+        for _ in 0..k {
+            let peer = all_transit[b.rng.random_range(0..all_transit.len())];
+            if peer != s {
+                b.p2p(s, peer);
+            }
+        }
+    }
+
+    // ---- 3. Hypergiants ---------------------------------------------------------
+    let mut hypergiants: Vec<Asn> = Vec::with_capacity(cfg.n_hypergiant);
+    for i in 0..cfg.n_hypergiant {
+        let (region, fixed) = if i < KNOWN_HYPERGIANTS.len() {
+            let (num, region) = KNOWN_HYPERGIANTS[i];
+            (region, Some(Asn(num)))
+        } else {
+            (b.sample_region(), None)
+        };
+        let asn = b.create_as(region, TierClass::Hypergiant, Some(SpecialRole::Cdn), fixed);
+        // 1–2 Tier-1 transit providers for global reachability.
+        let n_prov = 1 + usize::from(b.rng.random_bool(0.4));
+        let mut t1_pool = tier1.clone();
+        t1_pool.shuffle(&mut b.rng);
+        for provider in t1_pool.iter().take(n_prov) {
+            b.p2c(*provider, asn);
+        }
+        // Occasional settlement-free peering with remaining Tier-1s.
+        for t1 in &t1_pool[n_prov..] {
+            if b.rng.random_bool(cfg.hypergiant_t1_peer_prob) {
+                b.p2p(*t1, asn);
+            }
+        }
+        // Dense peering with transits.
+        let n_tr = b.sample_count(cfg.hypergiant_transit_peers).min(all_transit.len());
+        let mut pool = all_transit.clone();
+        pool.shuffle(&mut b.rng);
+        for peer in pool.into_iter().take(n_tr) {
+            b.p2p(peer, asn);
+        }
+        hypergiants.push(asn);
+    }
+
+    // ---- 4. Special stubs (peer with Tier-1s; ground-truth P2P) ---------------
+    let roles = [
+        SpecialRole::AnycastDns,
+        SpecialRole::Research,
+        SpecialRole::Cloud,
+        SpecialRole::Cdn,
+    ];
+    let mut special_stubs = Vec::with_capacity(cfg.n_special_stub);
+    for i in 0..cfg.n_special_stub {
+        let region = b.sample_region();
+        let role = roles[i % roles.len()];
+        let asn = b.create_as(region, TierClass::Stub, Some(role), None);
+        let n_peers = (2 + b.sample_count(1.0)).min(tier1.len());
+        let mut t1_pool = tier1.clone();
+        t1_pool.shuffle(&mut b.rng);
+        for t1 in t1_pool.iter().take(n_peers) {
+            b.p2p(*t1, asn);
+        }
+        // One transit provider keeps them multi-connected.
+        if let Some(provider) = b.choose_provider(&large_transit) {
+            b.p2c(provider, asn);
+        }
+        special_stubs.push(asn);
+    }
+
+    // ---- 5. Stubs -----------------------------------------------------------------
+    let mut stubs_by_region: BTreeMap<RirRegion, Vec<Asn>> = BTreeMap::new();
+    let mut all_stubs: Vec<Asn> = Vec::with_capacity(cfg.n_stub);
+    for _ in 0..cfg.n_stub {
+        let region = b.sample_region();
+        let asn = b.create_as(region, TierClass::Stub, None, None);
+        let n_prov = (1 + b.sample_count((cfg.stub_mean_providers - 1.0).max(0.0))).min(4);
+        for k in 0..n_prov {
+            if k == 0 && b.rng.random_bool(cfg.stub_direct_t1_prob) {
+                let t1 = tier1[b.rng.random_range(0..tier1.len())];
+                b.p2c(t1, asn);
+                continue;
+            }
+            let cross = b.rng.random_bool(cfg.cross_region_provider_prob);
+            let pool: Vec<Asn> = if cross {
+                all_transit.clone()
+            } else {
+                transits_by_region.get(&region).cloned().unwrap_or_default()
+            };
+            let pool = if pool.is_empty() { all_transit.clone() } else { pool };
+            if let Some(provider) = b.choose_provider(&pool) {
+                b.p2c(provider, asn);
+            }
+        }
+        stubs_by_region.entry(region).or_default().push(asn);
+        all_stubs.push(asn);
+    }
+
+    // ---- 5b. Hypergiant–stub peering (stubs exist only now) --------------------------
+    for hg in &hypergiants {
+        let k = b.sample_count(cfg.hypergiant_stub_peers).min(all_stubs.len());
+        let mut pool = all_stubs.clone();
+        pool.shuffle(&mut b.rng);
+        for stub in pool.into_iter().take(k) {
+            b.p2p(*hg, stub);
+        }
+    }
+
+    // ---- 6. IXP peering meshes ------------------------------------------------------
+    let mut ixps: Vec<crate::model::Ixp> = Vec::new();
+    for (ri, region) in RirRegion::ALL.into_iter().enumerate() {
+        let n_ixps = cfg.ixps_per_region[ri];
+        if n_ixps == 0 {
+            continue;
+        }
+        let transits = transits_by_region.get(&region).cloned().unwrap_or_default();
+        let stubs = stubs_by_region.get(&region).cloned().unwrap_or_default();
+        let degree = cfg.ixp_peering_degree[ri];
+        for _ in 0..n_ixps {
+            // Membership: most regional transits, a slice of regional stubs.
+            let mut members: Vec<Asn> = Vec::new();
+            for t in &transits {
+                if b.rng.random_bool((2.2 / n_ixps as f64).min(1.0)) {
+                    members.push(*t);
+                }
+            }
+            let stub_target = ((members.len() as f64) * cfg.ixp_stub_share
+                / (1.0 - cfg.ixp_stub_share))
+                .round() as usize;
+            let mut stub_pool = stubs.clone();
+            stub_pool.shuffle(&mut b.rng);
+            members.extend(stub_pool.into_iter().take(stub_target));
+            if members.len() < 3 {
+                continue;
+            }
+            ixps.push(crate::model::Ixp {
+                region,
+                members: members.iter().copied().collect(),
+            });
+            // Each member peers with ~Poisson(degree) random other members.
+            let m = members.len();
+            for i in 0..m {
+                let k = b.sample_count(degree).min(m - 1);
+                for _ in 0..k {
+                    let j = b.rng.random_range(0..m);
+                    if i != j {
+                        b.p2p(members[i], members[j]);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- 7. Partial-transit programs (§6.1 mechanism) -------------------------------
+    let links_snapshot: Vec<(Link, Rel)> = b
+        .links
+        .iter()
+        .map(|(l, r)| (*l, r.base))
+        .collect();
+    for (link, rel) in &links_snapshot {
+        let Rel::P2c { provider } = rel else { continue };
+        let Some(customer) = link.other(*provider) else { continue };
+        let customer_tier = b.ases.get(&customer).map(|i| i.tier);
+        let customer_region = b.ases.get(&customer).map(|i| i.region);
+        let provider_region = b.ases.get(provider).map(|i| i.region);
+        let provider_is_t1 = tier1.contains(provider);
+
+        let mut p = 0.0;
+        if *provider == cogent && customer_tier == Some(TierClass::Transit) {
+            p = cfg.cogent_partial_transit_share;
+        } else if provider_is_t1 && customer_tier == Some(TierClass::Transit) {
+            p = cfg.t1_partial_transit_share;
+        }
+        // LACNIC customers of out-of-region providers often buy partial
+        // transit (the AR-L degradation mechanism).
+        if customer_region == Some(RirRegion::Lacnic)
+            && provider_region.is_some()
+            && provider_region != Some(RirRegion::Lacnic)
+        {
+            let extra = if customer_tier == Some(TierClass::Transit) {
+                cfg.lacnic_partial_transit_share
+            } else {
+                cfg.lacnic_partial_transit_share / 2.0
+            };
+            p = p.max(extra);
+        }
+        if p > 0.0 && b.rng.random_bool(p.min(1.0)) {
+            b.links.insert(*link, GtRel::partial(*provider));
+        }
+    }
+
+    // ---- 8. Hybrid links (per-PoP differing relationships) --------------------------
+    let transit_links: Vec<(Link, Rel)> = b
+        .links
+        .iter()
+        .filter(|(link, _)| {
+            b.ases.get(&link.a()).map(|i| i.tier) == Some(TierClass::Transit)
+                && b.ases.get(&link.b()).map(|i| i.tier) == Some(TierClass::Transit)
+        })
+        .map(|(l, r)| (*l, r.base))
+        .collect();
+    for (link, base) in transit_links {
+        match base {
+            // P2P at most PoPs, P2C at a minority PoP (the a-side provides).
+            Rel::P2p if b.rng.random_bool(cfg.hybrid_link_share) => {
+                let provider = link.a();
+                b.links
+                    .insert(link, GtRel::hybrid(Rel::P2p, Rel::P2c { provider }));
+            }
+            // P2C contract at most PoPs, settlement-free at one (Giotsas et
+            // al. 2014 report both mixes).
+            Rel::P2c { provider } if b.rng.random_bool(cfg.hybrid_link_share / 2.0) => {
+                b.links
+                    .insert(link, GtRel::hybrid(Rel::P2c { provider }, Rel::P2p));
+            }
+            _ => {}
+        }
+    }
+
+    // ---- 9. Sibling organisations ---------------------------------------------------
+    // Multi-AS organisations are carrier families first (Verizon runs
+    // 701/702/703), enterprises second: draw two thirds of the sibling pool
+    // from transits, the rest from stubs.
+    let n_sibling_ases =
+        (((all_transit.len() + all_stubs.len()) as f64) * cfg.sibling_as_share).round() as usize;
+    let mut transit_pool = all_transit.clone();
+    transit_pool.shuffle(&mut b.rng);
+    let mut stub_pool = all_stubs.clone();
+    stub_pool.shuffle(&mut b.rng);
+    let mut sibling_candidates: Vec<Asn> = transit_pool
+        .into_iter()
+        .take(n_sibling_ases * 2 / 3)
+        .chain(stub_pool.into_iter().take(n_sibling_ases / 3))
+        .collect();
+    sibling_candidates.shuffle(&mut b.rng);
+    let mut pool = sibling_candidates.into_iter();
+    // Provider→customer adjacency so far, for cycle checks on the intra-org
+    // transit links added below.
+    let mut customer_adj: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+    for (link, rel) in &b.links {
+        if let Rel::P2c { provider } = rel.base {
+            if let Some(customer) = link.other(provider) {
+                customer_adj.entry(provider).or_default().push(customer);
+            }
+        }
+    }
+    let reaches = |adj: &BTreeMap<Asn, Vec<Asn>>, from: Asn, to: Asn| -> bool {
+        let mut seen: BTreeSet<Asn> = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(cur) = stack.pop() {
+            if cur == to {
+                return true;
+            }
+            if !seen.insert(cur) {
+                continue;
+            }
+            if let Some(customers) = adj.get(&cur) {
+                stack.extend(customers.iter().copied());
+            }
+        }
+        false
+    };
+    loop {
+        let group: Vec<Asn> = (&mut pool).take(2 + (b.rng.random_range(0..3))).collect();
+        if group.len() < 2 {
+            break;
+        }
+        // Merge organisations: everyone takes the first member's org.
+        let org = b.ases.get(&group[0]).map(|i| i.org.clone());
+        if let Some(org) = org {
+            for asn in &group[1..] {
+                if let Some(info) = b.ases.get_mut(asn) {
+                    info.org = org.clone();
+                }
+            }
+        }
+        // Links between consecutive members: half are plain S2S, half are
+        // intra-org *transit* (parent AS provides to the subsidiary) — the
+        // latter get tagged and validated like any P2C link, which is how
+        // sibling relationships end up inside validation data (§4.2). An
+        // intra-org transit link may only point "downhill": if the would-be
+        // customer already (transitively) provides to the would-be provider,
+        // the P2C direction would close a provider cycle — fall back to S2S.
+        for w in group.windows(2) {
+            if b.rng.random_bool(0.6) {
+                let wants_transit = b.rng.random_bool(0.5);
+                let rel = if wants_transit && !reaches(&customer_adj, w[1], w[0]) {
+                    customer_adj.entry(w[0]).or_default().push(w[1]);
+                    GtRel::simple(Rel::P2c { provider: w[0] })
+                } else {
+                    GtRel::simple(Rel::S2s)
+                };
+                b.add_link(w[0], w[1], rel);
+            }
+        }
+    }
+
+    // ---- 10. Community-dictionary publication (post-pass; sizes known) ---------------
+    let publish_decisions: Vec<(Asn, bool)> = b
+        .ases
+        .values()
+        .map(|info| (info.asn, info.region, info.tier))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|(asn, region, tier)| {
+            let customers = b.customer_count.get(&asn).copied().unwrap_or(0);
+            let p = b.publish_probability(region, tier, customers);
+            let decision = b.rng.random_bool(p);
+            // The Cogent-like Tier-1 always documents its communities — the
+            // §6.1 mechanism depends on its customer tags being decodable
+            // (the real AS174's dictionary is in RADB).
+            (asn, decision || asn == cogent)
+        })
+        .collect();
+    for (asn, publishes) in publish_decisions {
+        if let Some(info) = b.ases.get_mut(&asn) {
+            info.publishes_communities = publishes;
+        }
+    }
+
+    // ---- 10b. Per-prefix traffic engineering (needs final provider counts) -----------
+    let provider_counts: BTreeMap<Asn, usize> = {
+        let mut counts: BTreeMap<Asn, usize> = BTreeMap::new();
+        for (link, rel) in &b.links {
+            if let Rel::P2c { provider } = rel.base {
+                if let Some(customer) = link.other(provider) {
+                    *counts.entry(customer).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    };
+    let te_decisions: Vec<(Asn, Vec<Option<u8>>)> = b
+        .ases
+        .values()
+        .map(|i| (i.asn, i.prefixes.len()))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|(asn, n_prefixes)| {
+            let n_providers = provider_counts.get(&asn).copied().unwrap_or(0);
+            let te = (0..n_prefixes)
+                .map(|_| {
+                    if n_providers >= 2
+                        && n_prefixes >= 2
+                        && b.rng.random_bool(cfg.te_pin_prob)
+                    {
+                        Some(b.rng.random_range(0..n_providers) as u8)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            (asn, te)
+        })
+        .collect();
+    for (asn, te) in te_decisions {
+        if let Some(info) = b.ases.get_mut(&asn) {
+            info.prefix_te = te;
+        }
+    }
+
+    // ---- 11. Vantage points -----------------------------------------------------------
+    let mut collector_peers: Vec<CollectorPeer> = Vec::with_capacity(cfg.n_vantage_points);
+    let mut vp_set: BTreeSet<Asn> = BTreeSet::new();
+    // Route collectors peer with every Tier-1 (as RouteViews + RIS combined
+    // do) and a couple of hypergiants.
+    for asn in tier1
+        .iter()
+        .chain(hypergiants.iter().take(cfg.vp_hypergiants))
+    {
+        vp_set.insert(*asn);
+        collector_peers.push(CollectorPeer {
+            asn: *asn,
+            full_feed: true,
+            two_byte_only: false,
+        });
+    }
+    let mut guard = 0;
+    while collector_peers.len() < cfg.n_vantage_points && guard < cfg.n_vantage_points * 50 {
+        guard += 1;
+        let region = b.sample_vp_region();
+        let want_stub = b.rng.random_bool(cfg.vp_stub_share);
+        let pool = if want_stub {
+            stubs_by_region.get(&region).cloned().unwrap_or_default()
+        } else {
+            transits_by_region.get(&region).cloned().unwrap_or_default()
+        };
+        if pool.is_empty() {
+            continue;
+        }
+        // Collectors attract big networks: preferential attachment again.
+        let Some(asn) = b.choose_provider(&pool) else { continue };
+        if !vp_set.insert(asn) {
+            continue;
+        }
+        let two_byte_only = !asn.is_four_byte() && b.rng.random_bool(cfg.vp_two_byte_share);
+        collector_peers.push(CollectorPeer {
+            asn,
+            full_feed: b.rng.random_bool(cfg.vp_full_feed_share),
+            two_byte_only,
+        });
+    }
+
+    Topology {
+        ases: b.ases,
+        links: b.links,
+        tier1: tier1.into_iter().collect(),
+        hypergiants: hypergiants.into_iter().collect(),
+        cogent,
+        collector_peers,
+        ixps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        generate(&TopologyConfig::small(42))
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&TopologyConfig::small(7));
+        let b = generate(&TopologyConfig::small(7));
+        assert_eq!(a.as_count(), b.as_count());
+        assert_eq!(a.link_count(), b.link_count());
+        let la: Vec<_> = a.links.keys().collect();
+        let lb: Vec<_> = b.links.keys().collect();
+        assert_eq!(la, lb);
+        let c = generate(&TopologyConfig::small(8));
+        assert_ne!(
+            a.links.keys().collect::<Vec<_>>(),
+            c.links.keys().collect::<Vec<_>>(),
+            "different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn population_matches_config() {
+        let cfg = TopologyConfig::small(42);
+        let t = generate(&cfg);
+        assert_eq!(t.as_count(), cfg.total_ases());
+        assert_eq!(t.tier1.len(), cfg.n_tier1);
+        assert_eq!(t.hypergiants.len(), cfg.n_hypergiant);
+        assert_eq!(t.ases_of_tier(TierClass::Transit).len(), cfg.n_transit);
+    }
+
+    #[test]
+    fn tier1_forms_p2p_clique() {
+        let t = small();
+        let t1: Vec<Asn> = t.tier1.iter().copied().collect();
+        for i in 0..t1.len() {
+            for j in (i + 1)..t1.len() {
+                let link = Link::new(t1[i], t1[j]).unwrap();
+                let rel = t.gt_rel(link).expect("clique link missing");
+                assert_eq!(rel.base, Rel::P2p);
+            }
+        }
+    }
+
+    #[test]
+    fn provider_hierarchy_is_acyclic() {
+        let t = small();
+        let graph = t.ground_truth_graph().unwrap();
+        // DFS over provider→customer edges looking for a cycle.
+        let mut state: BTreeMap<Asn, u8> = BTreeMap::new(); // 1=open, 2=done
+        fn visit(
+            g: &asgraph::AsGraph,
+            a: Asn,
+            state: &mut BTreeMap<Asn, u8>,
+        ) -> bool {
+            match state.get(&a) {
+                Some(1) => return false, // cycle
+                Some(2) => return true,
+                _ => {}
+            }
+            state.insert(a, 1);
+            for c in g.customers(a) {
+                if !visit(g, c, state) {
+                    return false;
+                }
+            }
+            state.insert(a, 2);
+            true
+        }
+        for asn in graph.ases() {
+            assert!(visit(&graph, asn, &mut state), "provider cycle detected");
+        }
+    }
+
+    #[test]
+    fn every_as_is_connected_upward() {
+        let t = small();
+        let graph = t.ground_truth_graph().unwrap();
+        // Every non-Tier-1 AS must have at least one provider or peer
+        // (reachability precondition for propagation).
+        for (asn, info) in &t.ases {
+            if info.tier == TierClass::Tier1 {
+                continue;
+            }
+            assert!(
+                !graph.providers(*asn).is_empty() || !graph.peers(*asn).is_empty(),
+                "{asn} has no upstream"
+            );
+        }
+    }
+
+    #[test]
+    fn cogent_runs_partial_transit() {
+        let t = small();
+        let partial: Vec<_> = t
+            .links
+            .iter()
+            .filter(|(_, r)| r.partial_transit)
+            .collect();
+        assert!(!partial.is_empty(), "no partial-transit links generated");
+        let cogent_partial = partial
+            .iter()
+            .filter(|(l, r)| r.base.provider() == Some(t.cogent) && l.contains(t.cogent))
+            .count();
+        assert!(cogent_partial > 0, "cogent has no partial-transit customers");
+    }
+
+    #[test]
+    fn special_stubs_peer_with_tier1() {
+        let t = small();
+        let special: Vec<&AsInfo> = t
+            .ases
+            .values()
+            .filter(|i| i.tier == TierClass::Stub && i.special.is_some())
+            .collect();
+        assert!(!special.is_empty());
+        let mut peered = 0;
+        for info in &special {
+            for t1 in &t.tier1 {
+                if let Some(link) = Link::new(info.asn, *t1) {
+                    if t.gt_rel(link).map(|r| r.base) == Some(Rel::P2p) {
+                        peered += 1;
+                    }
+                }
+            }
+        }
+        assert!(peered >= special.len(), "special stubs should peer with T1s");
+    }
+
+    #[test]
+    fn lacnic_region_has_population_and_low_publication() {
+        let t = generate(&TopologyConfig::small(3));
+        let lacnic: Vec<&AsInfo> = t
+            .ases
+            .values()
+            .filter(|i| i.region == RirRegion::Lacnic)
+            .collect();
+        let arin: Vec<&AsInfo> = t
+            .ases
+            .values()
+            .filter(|i| i.region == RirRegion::Arin)
+            .collect();
+        assert!(lacnic.len() > 50);
+        let l_pub = lacnic.iter().filter(|i| i.publishes_communities).count() as f64
+            / lacnic.len() as f64;
+        let ar_pub =
+            arin.iter().filter(|i| i.publishes_communities).count() as f64 / arin.len() as f64;
+        assert!(
+            l_pub < ar_pub / 5.0,
+            "LACNIC publication rate ({l_pub:.3}) must be far below ARIN ({ar_pub:.3})"
+        );
+    }
+
+    #[test]
+    fn registry_artifacts_reconstruct_regions() {
+        let t = small();
+        let iana = t.iana_table();
+        let files = t.delegation_files("20180405");
+        let map = asregistry::RegionMap::build(iana, &files);
+        let mut checked = 0;
+        for info in t.ases.values() {
+            assert_eq!(
+                map.region(info.asn),
+                Some(info.region),
+                "{} region mismatch",
+                info.asn
+            );
+            checked += 1;
+        }
+        assert!(checked > 1000);
+        // Transfers exist and the delegation refinement handles them.
+        assert!(!t.transferred_asns().is_empty());
+    }
+
+    #[test]
+    fn as2org_identifies_siblings() {
+        let t = small();
+        let org = t.as2org();
+        let sibling_links: Vec<Link> = t
+            .links
+            .iter()
+            .filter(|(_, r)| r.base == Rel::S2s)
+            .map(|(l, _)| *l)
+            .collect();
+        assert!(!sibling_links.is_empty(), "no sibling links generated");
+        for link in sibling_links {
+            assert!(org.is_sibling_link(link), "{link} not detected as sibling");
+        }
+    }
+
+    #[test]
+    fn vantage_points_are_valid_ases() {
+        let t = small();
+        assert!(t.collector_peers.len() >= 50);
+        for vp in &t.collector_peers {
+            assert!(t.ases.contains_key(&vp.asn), "VP {} unknown", vp.asn);
+            if vp.two_byte_only {
+                assert!(!vp.asn.is_four_byte());
+            }
+        }
+        // Some of each flavour.
+        assert!(t.collector_peers.iter().any(|v| v.full_feed));
+        assert!(t.collector_peers.iter().any(|v| !v.full_feed));
+    }
+
+    #[test]
+    fn four_byte_asns_exist() {
+        let t = small();
+        let four = t.ases.keys().filter(|a| a.is_four_byte()).count();
+        assert!(
+            four > t.as_count() / 10,
+            "need a sizable 32-bit population, got {four}"
+        );
+    }
+
+    #[test]
+    fn hybrid_links_exist_and_are_complex() {
+        let t = generate(&TopologyConfig {
+            hybrid_link_share: 0.05,
+            ..TopologyConfig::small(42)
+        });
+        let hybrid = t
+            .links
+            .values()
+            .filter(|r| r.hybrid_alt.is_some())
+            .count();
+        assert!(hybrid > 0);
+        assert!(t.complex_links().len() >= hybrid);
+    }
+}

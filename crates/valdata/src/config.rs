@@ -1,0 +1,76 @@
+//! Compiler configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Knobs for validation-data compilation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValDataConfig {
+    /// Snapshot date recorded on every label, `YYYYMMDD`.
+    pub snapshot_date: String,
+    /// Seed for the compiler's own randomness (staleness, leaks).
+    pub seed: u64,
+
+    // ---- community source ---------------------------------------------------
+    /// If `true`, observations arriving over 16-bit-only collector sessions
+    /// are decoded from the *legacy* path view (no `AS4_PATH`
+    /// reconstruction), yielding labels that involve `AS_TRANS`.
+    pub legacy_pipeline: bool,
+    /// Number of fabricated labels involving reserved/private ASNs (models
+    /// private-ASN route leaks reaching the decoding pipeline).
+    pub reserved_leak_count: usize,
+    /// Probability that a publisher's dictionary has one stale/wrong entry
+    /// (its peer value decodes as customer) — the paper's "inaccurate
+    /// validation data" case.
+    pub stale_dict_prob: f64,
+    /// For hybrid (per-PoP) links: probability that one observation's ingress
+    /// tag reflects the minority relationship → multi-label entries.
+    pub hybrid_minority_share: f64,
+    /// If `true`, the compiler refuses to decode any community whose value
+    /// part is `666`: the informal blackhole convention collides with some
+    /// published dictionaries (the paper's 3356:666 example — Lumen uses it
+    /// to tag *peering* routes). Skipping loses their coverage; decoding
+    /// risks misinterpretation elsewhere. Default: decode per dictionary.
+    pub skip_666_as_blackhole: bool,
+
+    // ---- RPSL source ----------------------------------------------------------
+    /// Share of community-publishing ASes that also maintain `aut-num`
+    /// objects.
+    pub rpsl_coverage: f64,
+    /// Probability an `aut-num` policy line is stale (disagrees with ground
+    /// truth).
+    pub rpsl_stale_prob: f64,
+
+    // ---- direct reports --------------------------------------------------------
+    /// Number of directly-reported (unbiased, correct) link labels.
+    pub direct_report_count: usize,
+}
+
+impl Default for ValDataConfig {
+    fn default() -> Self {
+        ValDataConfig {
+            snapshot_date: "20180401".into(),
+            seed: 2018,
+            legacy_pipeline: true,
+            reserved_leak_count: 112,
+            stale_dict_prob: 0.01,
+            hybrid_minority_share: 0.3,
+            skip_666_as_blackhole: false,
+            rpsl_coverage: 0.35,
+            rpsl_stale_prob: 0.08,
+            direct_report_count: 150,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_scale() {
+        let c = ValDataConfig::default();
+        assert_eq!(c.reserved_leak_count, 112);
+        assert!(c.legacy_pipeline);
+        assert_eq!(c.snapshot_date, "20180401");
+    }
+}

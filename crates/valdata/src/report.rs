@@ -1,0 +1,55 @@
+//! Directly-reported relationships: a small, unbiased, correct sample of the
+//! ground truth (operators submitting through a web form / survey, the §7
+//! "active collaboration" channel).
+
+use crate::config::ValDataConfig;
+use crate::set::{LabelSource, ValidationSet};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use topogen::Topology;
+
+/// Samples `cfg.direct_report_count` links uniformly and labels them with the
+/// ground truth (reports are assumed accurate; they are also *unbiased* —
+/// which is exactly what the community source is not).
+#[must_use]
+pub fn direct_reports(topology: &Topology, cfg: &ValDataConfig) -> ValidationSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x5245_504F);
+    let mut links: Vec<_> = topology.links.iter().collect();
+    links.shuffle(&mut rng);
+    let mut set = ValidationSet::new();
+    for (link, gt) in links.into_iter().take(cfg.direct_report_count) {
+        set.add(*link, gt.base, LabelSource::DirectReport);
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topogen::TopologyConfig;
+
+    #[test]
+    fn reports_are_correct_and_bounded() {
+        let topo = topogen::generate(&TopologyConfig::small(51));
+        let cfg = ValDataConfig {
+            direct_report_count: 100,
+            ..ValDataConfig::default()
+        };
+        let set = direct_reports(&topo, &cfg);
+        assert_eq!(set.len(), 100);
+        for (link, records) in &set.entries {
+            let gt = topo.gt_rel(*link).unwrap();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].rel, gt.base);
+            assert_eq!(records[0].source, LabelSource::DirectReport);
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let topo = topogen::generate(&TopologyConfig::small(51));
+        let cfg = ValDataConfig::default();
+        assert_eq!(direct_reports(&topo, &cfg), direct_reports(&topo, &cfg));
+    }
+}

@@ -1,0 +1,267 @@
+//! The validation dataset: per-link label records with provenance.
+
+use asgraph::{Asn, Link, Rel, RelClass};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Where a label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LabelSource {
+    /// Decoded from published BGP-community dictionaries (the "best-effort"
+    /// source all recent evaluations use).
+    Communities,
+    /// Extracted from RPSL `aut-num` routing-policy objects.
+    Rpsl,
+    /// Reported directly by an operator.
+    DirectReport,
+}
+
+impl LabelSource {
+    fn as_str(self) -> &'static str {
+        match self {
+            LabelSource::Communities => "communities",
+            LabelSource::Rpsl => "rpsl",
+            LabelSource::DirectReport => "direct",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "communities" => Some(LabelSource::Communities),
+            "rpsl" => Some(LabelSource::Rpsl),
+            "direct" => Some(LabelSource::DirectReport),
+            _ => None,
+        }
+    }
+}
+
+/// One validation label for a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelRecord {
+    /// The asserted relationship.
+    pub rel: Rel,
+    /// Provenance.
+    pub source: LabelSource,
+}
+
+/// The compiled validation dataset: links may carry multiple (possibly
+/// disagreeing) labels — §4.2's "ambiguous label treatment" operates on this.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationSet {
+    /// Per-link label records in insertion order.
+    pub entries: BTreeMap<Link, Vec<LabelRecord>>,
+}
+
+impl ValidationSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a label, deduplicating identical records.
+    pub fn add(&mut self, link: Link, rel: Rel, source: LabelSource) {
+        let records = self.entries.entry(link).or_default();
+        let rec = LabelRecord { rel, source };
+        if !records.contains(&rec) {
+            records.push(rec);
+        }
+    }
+
+    /// Merges another set into this one.
+    pub fn merge(&mut self, other: ValidationSet) {
+        for (link, records) in other.entries {
+            for r in records {
+                self.add(link, r.rel, r.source);
+            }
+        }
+    }
+
+    /// Number of links with at least one label.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no labels exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All labels for a link.
+    #[must_use]
+    pub fn labels(&self, link: Link) -> &[LabelRecord] {
+        self.entries.get(&link).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Links with more than one *distinct relationship* asserted (the
+    /// ambiguous entries of §4.2).
+    #[must_use]
+    pub fn multi_label_links(&self) -> Vec<Link> {
+        self.entries
+            .iter()
+            .filter(|(_, records)| {
+                let mut rels: Vec<Rel> = records.iter().map(|r| r.rel).collect();
+                rels.dedup();
+                rels.sort_by_key(|r| format!("{r}"));
+                rels.dedup();
+                rels.len() > 1
+            })
+            .map(|(l, _)| *l)
+            .collect()
+    }
+
+    /// Restricts to a single source.
+    #[must_use]
+    pub fn only_source(&self, source: LabelSource) -> ValidationSet {
+        let mut out = ValidationSet::new();
+        for (link, records) in &self.entries {
+            for r in records {
+                if r.source == source {
+                    out.add(*link, r.rel, r.source);
+                }
+            }
+        }
+        out
+    }
+
+    /// Counts labels per relationship class (first label per link).
+    #[must_use]
+    pub fn class_counts(&self) -> BTreeMap<RelClass, usize> {
+        let mut out = BTreeMap::new();
+        for records in self.entries.values() {
+            if let Some(first) = records.first() {
+                *out.entry(first.rel.class()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+
+    /// Serialises to a CAIDA-like pipe format:
+    /// `a|b|rel|source` with `rel ∈ {-1 = a provider, 1 = b provider, 0 = p2p, 2 = s2s}`.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# a|b|rel|source  (-1: a provider of b, 1: b provider of a, 0: p2p, 2: s2s)\n");
+        for (link, records) in &self.entries {
+            for r in records {
+                let code = match r.rel {
+                    Rel::P2c { provider } if provider == link.a() => "-1",
+                    Rel::P2c { .. } => "1",
+                    Rel::P2p => "0",
+                    Rel::S2s => "2",
+                };
+                let _ = writeln!(
+                    out,
+                    "{}|{}|{}|{}",
+                    link.a().0,
+                    link.b().0,
+                    code,
+                    r.source.as_str()
+                );
+            }
+        }
+        out
+    }
+
+    /// Parses the [`ValidationSet::to_text`] format.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut out = ValidationSet::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').collect();
+            if fields.len() != 4 {
+                return Err(format!("line {}: expected 4 fields", i + 1));
+            }
+            let a: u32 = fields[0].parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
+            let b: u32 = fields[1].parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
+            let link = Link::new(Asn(a), Asn(b)).ok_or(format!("line {}: self loop", i + 1))?;
+            let rel = match fields[2] {
+                "-1" => Rel::P2c { provider: link.a() },
+                "1" => Rel::P2c { provider: link.b() },
+                "0" => Rel::P2p,
+                "2" => Rel::S2s,
+                other => return Err(format!("line {}: bad rel {other:?}", i + 1)),
+            };
+            let source = LabelSource::parse(fields[3])
+                .ok_or(format!("line {}: bad source", i + 1))?;
+            out.add(link, rel, source);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link::new(Asn(a), Asn(b)).unwrap()
+    }
+
+    #[test]
+    fn add_and_dedup() {
+        let mut v = ValidationSet::new();
+        v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
+        v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
+        assert_eq!(v.labels(link(1, 2)).len(), 1);
+        v.add(link(1, 2), Rel::P2p, LabelSource::Rpsl);
+        assert_eq!(v.labels(link(1, 2)).len(), 2);
+        assert!(v.multi_label_links().is_empty(), "same rel twice ≠ ambiguous");
+    }
+
+    #[test]
+    fn multi_label_detection() {
+        let mut v = ValidationSet::new();
+        v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
+        v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Communities);
+        v.add(link(3, 4), Rel::P2p, LabelSource::Communities);
+        assert_eq!(v.multi_label_links(), vec![link(1, 2)]);
+    }
+
+    #[test]
+    fn source_filter() {
+        let mut v = ValidationSet::new();
+        v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
+        v.add(link(3, 4), Rel::P2p, LabelSource::Rpsl);
+        let c = v.only_source(LabelSource::Communities);
+        assert_eq!(c.len(), 1);
+        assert!(!c.entries.contains_key(&link(3, 4)));
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut v = ValidationSet::new();
+        v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Communities);
+        v.add(link(1, 2), Rel::P2p, LabelSource::Rpsl);
+        v.add(link(5, 9), Rel::P2c { provider: Asn(9) }, LabelSource::DirectReport);
+        v.add(link(5, 7), Rel::S2s, LabelSource::Rpsl);
+        let parsed = ValidationSet::parse(&v.to_text()).unwrap();
+        assert_eq!(v, parsed);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ValidationSet::parse("1|2|0\n").is_err());
+        assert!(ValidationSet::parse("1|2|9|communities\n").is_err());
+        assert!(ValidationSet::parse("1|1|0|communities\n").is_err());
+        assert!(ValidationSet::parse("a|2|0|communities\n").is_err());
+        assert!(ValidationSet::parse("1|2|0|psychic\n").is_err());
+        assert!(ValidationSet::parse("# only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn class_counts_use_first_label() {
+        let mut v = ValidationSet::new();
+        v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
+        v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Rpsl);
+        v.add(link(3, 4), Rel::P2c { provider: Asn(3) }, LabelSource::Communities);
+        let counts = v.class_counts();
+        assert_eq!(counts[&RelClass::P2p], 1);
+        assert_eq!(counts[&RelClass::P2c], 1);
+    }
+}
