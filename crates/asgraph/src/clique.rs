@@ -195,13 +195,7 @@ mod tests {
     #[test]
     fn clique_link_test() {
         let clique: BTreeSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
-        assert!(is_clique_link(
-            &clique,
-            Link::new(Asn(1), Asn(2)).unwrap()
-        ));
-        assert!(!is_clique_link(
-            &clique,
-            Link::new(Asn(1), Asn(3)).unwrap()
-        ));
+        assert!(is_clique_link(&clique, Link::new(Asn(1), Asn(2)).unwrap()));
+        assert!(!is_clique_link(&clique, Link::new(Asn(1), Asn(3)).unwrap()));
     }
 }

@@ -80,8 +80,16 @@ impl AsGraph {
         match rel {
             Rel::P2c { provider } => {
                 let customer = link.other(provider).expect("validated above");
-                self.adj.entry(provider).or_default().customers.insert(customer);
-                self.adj.entry(customer).or_default().providers.insert(provider);
+                self.adj
+                    .entry(provider)
+                    .or_default()
+                    .customers
+                    .insert(customer);
+                self.adj
+                    .entry(customer)
+                    .or_default()
+                    .providers
+                    .insert(provider);
             }
             Rel::P2p => {
                 self.adj.entry(a).or_default().peers.insert(b);
@@ -194,7 +202,7 @@ impl AsGraph {
     /// `true` if `asn` has no customers (a stub in the paper's §5 sense).
     #[must_use]
     pub fn is_stub(&self, asn: Asn) -> bool {
-        self.adj.get(&asn).map_or(true, |a| a.customers.is_empty())
+        self.adj.get(&asn).is_none_or(|a| a.customers.is_empty())
     }
 
     /// Counts links by relationship class.

@@ -107,8 +107,12 @@ mod tests {
 
     #[test]
     fn reserved_detection() {
-        assert!(Link::new(Asn(64512), Asn(3356)).unwrap().involves_reserved());
-        assert!(Link::new(Asn(23456), Asn(3356)).unwrap().involves_reserved());
+        assert!(Link::new(Asn(64512), Asn(3356))
+            .unwrap()
+            .involves_reserved());
+        assert!(Link::new(Asn(23456), Asn(3356))
+            .unwrap()
+            .involves_reserved());
         assert!(!Link::new(Asn(174), Asn(3356)).unwrap().involves_reserved());
     }
 }

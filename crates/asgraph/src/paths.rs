@@ -87,9 +87,7 @@ impl AsPath {
     #[must_use]
     pub fn links(&self) -> Vec<Link> {
         let c = self.compressed();
-        c.windows(2)
-            .filter_map(|w| Link::new(w[0], w[1]))
-            .collect()
+        c.windows(2).filter_map(|w| Link::new(w[0], w[1])).collect()
     }
 
     /// The AS triplets `(left, middle, right)` of the compressed path.
@@ -186,14 +184,21 @@ impl PathSet {
     /// sanitisation prefix of all three classifiers.
     #[must_use]
     pub fn sanitized(&self) -> PathSet {
-        PathSet {
+        let _span = breval_obs::span!("sanitize");
+        let sanitized = PathSet {
             paths: self
                 .paths
                 .iter()
                 .filter(|p| !p.path.has_loop() && !p.path.has_reserved())
                 .cloned()
                 .collect(),
-        }
+        };
+        breval_obs::counter(
+            "paths_sanitized_dropped",
+            (self.paths.len() - sanitized.paths.len()) as u64,
+        );
+        breval_obs::counter("paths_sanitized_kept", sanitized.paths.len() as u64);
+        sanitized
     }
 
     /// Computes the derived statistics in one pass.

@@ -1,6 +1,6 @@
 //! Property-based tests for the asgraph substrate.
 
-use asgraph::{cone, Asn, AsGraph, AsPath, Link, PathSet, Rel};
+use asgraph::{cone, AsGraph, AsPath, Asn, Link, PathSet, Rel};
 use proptest::prelude::*;
 
 fn arb_asn() -> impl Strategy<Value = Asn> {

@@ -192,7 +192,9 @@ fn resolve_votes(
     let mut out = BTreeSet::new();
     let mut seen: BTreeSet<Link> = BTreeSet::new();
     for (&(p, c), &n) in votes {
-        let Some(link) = Link::new(p, c) else { continue };
+        let Some(link) = Link::new(p, c) else {
+            continue;
+        };
         if seen.contains(&link) {
             continue;
         }
@@ -202,7 +204,11 @@ fn resolve_votes(
         }
         let fwd = n;
         let rev = votes.get(&(c, p)).copied().unwrap_or(0);
-        let (fwd, rev, p, c) = if fwd >= rev { (fwd, rev, p, c) } else { (rev, fwd, c, p) };
+        let (fwd, rev, p, c) = if fwd >= rev {
+            (fwd, rev, p, c)
+        } else {
+            (rev, fwd, c, p)
+        };
         let (p, c) = if clique.contains(&c) { (c, p) } else { (p, c) };
         if rev == 0 || fwd as f64 >= ratio * rev as f64 || clique.contains(&p) {
             out.insert((p, c));
@@ -265,20 +271,14 @@ mod tests {
             Some(Rel::P2c { provider: Asn(4) })
         );
         // Clique links are peers.
-        assert_eq!(
-            inf.rel(Link::new(Asn(1), Asn(2)).unwrap()),
-            Some(Rel::P2p)
-        );
+        assert_eq!(inf.rel(Link::new(Asn(1), Asn(2)).unwrap()), Some(Rel::P2p));
     }
 
     #[test]
     fn lateral_only_links_default_to_p2p() {
         let inf = AsRank::new().infer(&sample_paths());
         // 4–6 never appears below a seed: stays P2P.
-        assert_eq!(
-            inf.rel(Link::new(Asn(4), Asn(6)).unwrap()),
-            Some(Rel::P2p)
-        );
+        assert_eq!(inf.rel(Link::new(Asn(4), Asn(6)).unwrap()), Some(Rel::P2p));
     }
 
     #[test]

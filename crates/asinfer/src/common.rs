@@ -67,6 +67,25 @@ pub trait Classifier {
 
     /// Runs the inference.
     fn infer(&self, paths: &PathSet) -> Inference;
+
+    /// Runs the inference inside an observability span `infer_<name>`,
+    /// recording the number of relationship labels assigned. Classifiers
+    /// that bootstrap from another classifier call [`Classifier::infer`]
+    /// directly, so only the outermost run is timed and counted.
+    fn infer_observed(&self, paths: &PathSet) -> Inference {
+        if !breval_obs::enabled() {
+            return self.infer(paths);
+        }
+        let name = self.name();
+        let _span = breval_obs::span(&format!("infer_{name}"));
+        let inference = self.infer(paths);
+        breval_obs::counter("rels_assigned", inference.rels.len() as u64);
+        breval_obs::counter(
+            &format!("rels_assigned.{name}"),
+            inference.rels.len() as u64,
+        );
+        inference
+    }
 }
 
 #[cfg(test)]

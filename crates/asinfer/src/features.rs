@@ -85,7 +85,10 @@ pub fn compute_features(
     let mut out = HashMap::with_capacity(stats.links().len());
     for link in stats.links() {
         let (a, b) = link.endpoints();
-        let (da, db) = (stats.transit_degree(a).max(1), stats.transit_degree(b).max(1));
+        let (da, db) = (
+            stats.transit_degree(a).max(1),
+            stats.transit_degree(b).max(1),
+        );
         let ratio = da.max(db) / da.min(db);
         let common = neighbors
             .get(&a)

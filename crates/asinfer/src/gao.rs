@@ -97,7 +97,10 @@ impl Classifier for GaoClassifier {
             let ba = votes.get(&(b, a)).copied().unwrap_or(0);
             let rel = if ab == 0 && ba == 0 {
                 Rel::P2p
-            } else if ab > 0 && ba > 0 && ab <= self.params.sibling_bound && ba <= self.params.sibling_bound
+            } else if ab > 0
+                && ba > 0
+                && ab <= self.params.sibling_bound
+                && ba <= self.params.sibling_bound
             {
                 Rel::S2s
             } else if ab >= ba {

@@ -70,7 +70,9 @@ impl NaiveBayes {
             totals: [N_BUCKETS as f64; 2],
         };
         for (link, rel) in labels {
-            let Some(f) = features.get(link) else { continue };
+            let Some(f) = features.get(link) else {
+                continue;
+            };
             let class = match rel.class() {
                 RelClass::P2c => CLASS_P2C,
                 RelClass::P2p => CLASS_P2P,
@@ -123,7 +125,9 @@ impl Classifier for ProbLink {
                 {
                     continue;
                 }
-                let Some(f) = features.get(link) else { continue };
+                let Some(f) = features.get(link) else {
+                    continue;
+                };
                 let lp = nb.log_posteriors(f);
                 let want = if lp[CLASS_P2C] >= lp[CLASS_P2P] {
                     RelClass::P2c
@@ -167,7 +171,7 @@ impl Classifier for ProbLink {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asgraph::{Asn, AsPath, PathSet};
+    use asgraph::{AsPath, Asn, PathSet};
 
     fn path(hops: &[u32]) -> AsPath {
         AsPath::new(hops.iter().map(|&h| Asn(h)).collect())
@@ -202,10 +206,7 @@ mod tests {
         ps.push(Asn(12), path(&[12, 2, 7]));
         let inf = ProbLink::new().infer(&ps);
         if inf.clique.contains(&Asn(1)) && inf.clique.contains(&Asn(2)) {
-            assert_eq!(
-                inf.rel(Link::new(Asn(1), Asn(2)).unwrap()),
-                Some(Rel::P2p)
-            );
+            assert_eq!(inf.rel(Link::new(Asn(1), Asn(2)).unwrap()), Some(Rel::P2p));
         }
     }
 

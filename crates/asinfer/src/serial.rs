@@ -83,8 +83,7 @@ pub fn from_caida_text(text: &str) -> Result<Inference, String> {
         let b: u32 = fields[1]
             .parse()
             .map_err(|_| format!("line {line_no}: bad ASN {:?}", fields[1]))?;
-        let link =
-            Link::new(Asn(a), Asn(b)).ok_or_else(|| format!("line {line_no}: self link"))?;
+        let link = Link::new(Asn(a), Asn(b)).ok_or_else(|| format!("line {line_no}: self link"))?;
         let rel = match fields[2] {
             "-1" => Rel::P2c { provider: Asn(a) },
             "0" => Rel::P2p,

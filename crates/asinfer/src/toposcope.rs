@@ -115,12 +115,11 @@ impl Classifier for TopoScope {
                 *full_rel
             };
             // Clique links remain peers regardless of group noise.
-            let decided =
-                if full.clique.contains(&link.a()) && full.clique.contains(&link.b()) {
-                    Rel::P2p
-                } else {
-                    decided
-                };
+            let decided = if full.clique.contains(&link.a()) && full.clique.contains(&link.b()) {
+                Rel::P2p
+            } else {
+                decided
+            };
             rels.insert(*link, decided);
         }
 

@@ -71,7 +71,9 @@ impl Unari {
         let mut counts = [[[1.0f64; N_BUCKETS]; 5]; 2]; // Laplace smoothing
         let mut totals = [N_BUCKETS as f64; 2];
         for (link, rel) in &initial.rels {
-            let Some(f) = features.get(link) else { continue };
+            let Some(f) = features.get(link) else {
+                continue;
+            };
             let class = match rel.class() {
                 RelClass::P2c => 0,
                 RelClass::P2p => 1,
@@ -140,10 +142,7 @@ impl Classifier for Unari {
     fn infer(&self, paths: &PathSet) -> Inference {
         let initial = AsRank::new().infer(paths);
         let beliefs = self.beliefs(paths);
-        let rels: BTreeMap<Link, Rel> = beliefs
-            .iter()
-            .map(|(l, b)| (*l, b.hard_label()))
-            .collect();
+        let rels: BTreeMap<Link, Rel> = beliefs.iter().map(|(l, b)| (*l, b.hard_label())).collect();
         Inference {
             classifier: self.name().to_owned(),
             rels,
@@ -178,7 +177,9 @@ pub fn calibration_curve(
     let bins = bins.max(1);
     let mut acc: Vec<(usize, f64, usize)> = vec![(0, 0.0, 0); bins]; // (n, certainty sum, correct)
     for (link, belief) in beliefs {
-        let Some(truth) = reference.get(link) else { continue };
+        let Some(truth) = reference.get(link) else {
+            continue;
+        };
         if truth.class() == RelClass::S2s {
             continue;
         }
@@ -230,8 +231,15 @@ mod tests {
         let beliefs = Unari::new().beliefs(&sample_paths());
         assert!(!beliefs.is_empty());
         for (link, b) in &beliefs {
-            assert!((b.p_p2c + b.p_p2p - 1.0).abs() < 1e-9, "{link} not normalised");
-            assert!(b.certainty() >= 0.5 - 1e-9, "{link} certainty {}", b.certainty());
+            assert!(
+                (b.p_p2c + b.p_p2p - 1.0).abs() < 1e-9,
+                "{link} not normalised"
+            );
+            assert!(
+                b.certainty() >= 0.5 - 1e-9,
+                "{link} certainty {}",
+                b.certainty()
+            );
             assert!(link.contains(b.provider));
         }
     }
@@ -250,10 +258,8 @@ mod tests {
         let beliefs = Unari::new().beliefs(&ps);
         // Use the hard labels themselves as reference: accuracy must be 1.0
         // in every populated bin.
-        let reference: HashMap<Link, Rel> = beliefs
-            .iter()
-            .map(|(l, b)| (*l, b.hard_label()))
-            .collect();
+        let reference: HashMap<Link, Rel> =
+            beliefs.iter().map(|(l, b)| (*l, b.hard_label())).collect();
         let bins = calibration_curve(&beliefs, &reference, 5);
         assert_eq!(bins.len(), 5);
         let total: usize = bins.iter().map(|b| b.links).sum();

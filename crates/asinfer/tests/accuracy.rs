@@ -2,7 +2,7 @@
 //! with the ground truth, and must exhibit the paper's §6.1 failure mode on
 //! partial-transit links.
 
-use asgraph::{Link, Rel, RelClass};
+use asgraph::{Rel, RelClass};
 use asinfer::{AsRank, Classifier, GaoClassifier, ProbLink, TopoScope};
 use topogen::{generate, Topology, TopologyConfig};
 
@@ -18,7 +18,9 @@ fn accuracy(topo: &Topology, inf: &asinfer::Inference) -> (f64, usize) {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (link, rel) in &inf.rels {
-        let Some(gt) = topo.gt_rel(*link) else { continue };
+        let Some(gt) = topo.gt_rel(*link) else {
+            continue;
+        };
         if gt.base.class() == RelClass::S2s {
             continue;
         }
@@ -140,7 +142,9 @@ fn near_perfect_p2c_inference() {
         let mut gt_p2c = 0usize;
         let mut correct = 0usize;
         for (link, rel) in &inf.rels {
-            let Some(gt) = topo.gt_rel(*link) else { continue };
+            let Some(gt) = topo.gt_rel(*link) else {
+                continue;
+            };
             if gt.base.class() != RelClass::P2c {
                 continue;
             }

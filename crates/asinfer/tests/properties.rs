@@ -1,16 +1,12 @@
 //! Property tests for the inference algorithms: well-formed outputs on
 //! arbitrary path sets, and stability invariants.
 
-use asgraph::{Asn, AsPath, Link, PathSet, Rel};
+use asgraph::{AsPath, Asn, Link, PathSet, Rel};
 use asinfer::{AsRank, Classifier, GaoClassifier, ProbLink, TopoScope, Unari};
 use proptest::prelude::*;
 
 fn arb_pathset() -> impl Strategy<Value = PathSet> {
-    prop::collection::vec(
-        prop::collection::vec(1u32..120, 2..8),
-        1..40,
-    )
-    .prop_map(|paths| {
+    prop::collection::vec(prop::collection::vec(1u32..120, 2..8), 1..40).prop_map(|paths| {
         let mut ps = PathSet::new();
         for hops in paths {
             let hops: Vec<Asn> = hops.into_iter().map(Asn).collect();

@@ -40,7 +40,9 @@ impl BlockAuthority {
         if s.eq_ignore_ascii_case("unallocated") {
             return Some(BlockAuthority::Unallocated);
         }
-        let name = s.strip_prefix("Assigned by ").or_else(|| s.strip_prefix("assigned by "))?;
+        let name = s
+            .strip_prefix("Assigned by ")
+            .or_else(|| s.strip_prefix("assigned by "))?;
         name.parse::<RirRegion>().ok().map(BlockAuthority::Rir)
     }
 }
@@ -104,9 +106,7 @@ impl IanaAsnTable {
     /// Looks up the authority for `asn` (binary search).
     #[must_use]
     pub fn authority(&self, asn: Asn) -> Option<BlockAuthority> {
-        let idx = self
-            .blocks
-            .partition_point(|b| b.end < asn.0);
+        let idx = self.blocks.partition_point(|b| b.end < asn.0);
         self.blocks.get(idx).and_then(|b| {
             if b.start <= asn.0 && asn.0 <= b.end {
                 Some(b.authority)
@@ -154,10 +154,12 @@ impl IanaAsnTable {
                 Some((s, e)) => (s.trim(), e.trim()),
                 None => (range.trim(), range.trim()),
             };
-            let start: u32 = start.parse().map_err(|_| RegistryError::MalformedIanaLine {
-                line: line_no,
-                reason: format!("bad start {start:?}"),
-            })?;
+            let start: u32 = start
+                .parse()
+                .map_err(|_| RegistryError::MalformedIanaLine {
+                    line: line_no,
+                    reason: format!("bad start {start:?}"),
+                })?;
             let end: u32 = end.parse().map_err(|_| RegistryError::MalformedIanaLine {
                 line: line_no,
                 reason: format!("bad end {end:?}"),
@@ -195,14 +197,8 @@ mod tests {
     #[test]
     fn lookup_inside_blocks() {
         let t = sample();
-        assert_eq!(
-            t.initial_region(Asn(100)),
-            Some(RirRegion::Arin)
-        );
-        assert_eq!(
-            t.initial_region(Asn(1880)),
-            Some(RirRegion::RipeNcc)
-        );
+        assert_eq!(t.initial_region(Asn(100)), Some(RirRegion::Arin));
+        assert_eq!(t.initial_region(Asn(1880)), Some(RirRegion::RipeNcc));
         assert_eq!(t.initial_region(Asn(2043)), None);
         assert_eq!(t.authority(Asn(2043)), Some(BlockAuthority::Reserved));
         assert_eq!(t.authority(Asn(5000)), Some(BlockAuthority::Unallocated));

@@ -51,10 +51,26 @@ fn parse_args() -> Args {
     }
     if args.targets.is_empty() || args.targets.contains("all") {
         args.targets = [
-            "fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "table1", "table2", "table3",
-            "fig456", "casestudy", "cleaning", "hardlinks", "features",
-            "ablation_ambiguous", "ablation_sources", "ablation_legacy", "ablation_666",
-            "calibration", "verify",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table1",
+            "table2",
+            "table3",
+            "fig456",
+            "casestudy",
+            "cleaning",
+            "hardlinks",
+            "features",
+            "ablation_ambiguous",
+            "ablation_sources",
+            "ablation_legacy",
+            "ablation_666",
+            "calibration",
+            "verify",
         ]
         .into_iter()
         .map(str::to_owned)
@@ -69,7 +85,25 @@ fn write_json<T: serde::Serialize>(out: &std::path::Path, name: &str, value: &T)
     breval_bench::write_result(out, &format!("{name}.json"), &json).expect("write json");
 }
 
+/// Benchmark-style observability summary written to `BENCH_obs.json` at the
+/// repository root: per-stage wall time for the main pipeline run.
+#[derive(serde::Serialize)]
+struct BenchObs {
+    name: String,
+    scenario: String,
+    seed: u64,
+    total_wall_ms: f64,
+    stage_wall_ms: std::collections::BTreeMap<String, f64>,
+    counters: std::collections::BTreeMap<String, u64>,
+}
+
 fn main() {
+    // The experiments binary is the primary observability consumer: it
+    // records a run manifest by default. Setting BREVAL_OBS explicitly
+    // (e.g. BREVAL_OBS=0) still wins.
+    if std::env::var(breval_obs::ENV_VAR).is_err() {
+        breval_obs::set_enabled(true);
+    }
     let args = parse_args();
     let mut config = if args.small {
         ScenarioConfig::small(args.seed.unwrap_or(2018))
@@ -97,8 +131,7 @@ fn main() {
 
     let emit = |name: &str, text: String, csv: Option<(String, String)>| {
         println!("{text}");
-        breval_bench::write_result(&args.out, &format!("{name}.txt"), &text)
-            .expect("write result");
+        breval_bench::write_result(&args.out, &format!("{name}.txt"), &text).expect("write result");
         if let Some((csv_name, csv_text)) = csv {
             breval_bench::write_result(&args.out, &csv_name, &csv_text).expect("write csv");
         }
@@ -112,7 +145,10 @@ fn main() {
                 emit(
                     "fig1_regional_imbalance",
                     report::render_coverage(&rows, "Fig. 1 — regional imbalance"),
-                    Some(("fig1_regional_imbalance.csv".into(), report::coverage_csv(&rows))),
+                    Some((
+                        "fig1_regional_imbalance.csv".into(),
+                        report::coverage_csv(&rows),
+                    )),
                 );
             }
             "fig2" => {
@@ -121,15 +157,30 @@ fn main() {
                 emit(
                     "fig2_topological_imbalance",
                     report::render_coverage(&rows, "Fig. 2 — topological imbalance"),
-                    Some(("fig2_topological_imbalance.csv".into(), report::coverage_csv(&rows))),
+                    Some((
+                        "fig2_topological_imbalance.csv".into(),
+                        report::coverage_csv(&rows),
+                    )),
                 );
             }
             "fig3" | "fig7" | "fig8" | "fig9" => {
                 let (metric, title) = match target.as_str() {
-                    "fig3" => (HeatmapMetric::TransitDegree, "Fig. 3 — transit-degree imbalance (TR° links)"),
-                    "fig7" => (HeatmapMetric::Ppdc, "Fig. 7 — PPDC cone imbalance (TR° links)"),
-                    "fig8" => (HeatmapMetric::PpdcNoVp, "Fig. 8 — PPDC cone imbalance (no VP links)"),
-                    _ => (HeatmapMetric::NodeDegree, "Fig. 9 — node-degree imbalance (TR° links)"),
+                    "fig3" => (
+                        HeatmapMetric::TransitDegree,
+                        "Fig. 3 — transit-degree imbalance (TR° links)",
+                    ),
+                    "fig7" => (
+                        HeatmapMetric::Ppdc,
+                        "Fig. 7 — PPDC cone imbalance (TR° links)",
+                    ),
+                    "fig8" => (
+                        HeatmapMetric::PpdcNoVp,
+                        "Fig. 8 — PPDC cone imbalance (no VP links)",
+                    ),
+                    _ => (
+                        HeatmapMetric::NodeDegree,
+                        "Fig. 9 — node-degree imbalance (TR° links)",
+                    ),
                 };
                 let (inf, val) = scenario.heatmaps(metric);
                 write_json(&args.out, &format!("{target}_heatmap"), &(&inf, &val));
@@ -169,7 +220,10 @@ fn main() {
                 emit(
                     "fig456_sampling_t1_tr",
                     report::render_sampling(&points, "T1-TR"),
-                    Some(("fig456_sampling_t1_tr.csv".into(), report::sampling_csv(&points))),
+                    Some((
+                        "fig456_sampling_t1_tr.csv".into(),
+                        report::sampling_csv(&points),
+                    )),
                 );
             }
             "casestudy" => {
@@ -223,9 +277,15 @@ fn main() {
                 );
                 let scored = scenario.scored("asrank");
                 let mut rows = Vec::new();
-                let feats: [(&'static str, fn(&breval_core::linkfeatures::LinkMetrics) -> f64); 8] = [
+                type Feature = (
+                    &'static str,
+                    fn(&breval_core::linkfeatures::LinkMetrics) -> f64,
+                );
+                let feats: [Feature; 8] = [
                     ("visibility", |m| m.visibility as f64),
-                    ("prefixes_redistributed", |m| m.prefixes_redistributed as f64),
+                    ("prefixes_redistributed", |m| {
+                        m.prefixes_redistributed as f64
+                    }),
                     ("prefixes_originated", |m| m.prefixes_originated as f64),
                     ("left_ases", |m| m.left_ases as f64),
                     ("right_ases", |m| m.right_ases as f64),
@@ -238,7 +298,11 @@ fn main() {
                         &scored, &metrics, name, f,
                     ));
                 }
-                emit("features_appendix_c", report::render_feature_errors(&rows), None);
+                emit(
+                    "features_appendix_c",
+                    report::render_feature_errors(&rows),
+                    None,
+                );
             }
             "ablation_ambiguous" => {
                 // §4.2: the three multi-label treatments give different
@@ -291,7 +355,9 @@ fn main() {
                     ),
                     (
                         "rpsl",
-                        scenario.validation_raw.only_source(valdata::LabelSource::Rpsl),
+                        scenario
+                            .validation_raw
+                            .only_source(valdata::LabelSource::Rpsl),
                     ),
                     (
                         "direct",
@@ -323,13 +389,18 @@ fn main() {
             "verify" => {
                 // Self-check: every shape claim from EXPERIMENTS.md, asserted
                 // programmatically at this scenario's scale.
-                let mut text = String::from("# Shape verification checklist
-");
+                let mut text = String::from(
+                    "# Shape verification checklist
+",
+                );
                 let mut ok_all = true;
                 let mut check = |label: &str, ok: bool| {
                     ok_all &= ok;
-                    text.push_str(&format!("[{}] {label}
-", if ok { "PASS" } else { "FAIL" }));
+                    text.push_str(&format!(
+                        "[{}] {label}
+",
+                        if ok { "PASS" } else { "FAIL" }
+                    ));
                 };
                 let fig1 = scenario.fig1();
                 let cov = |rows: &[breval_core::coverage::ClassCoverage], class: &str| {
@@ -340,16 +411,31 @@ fn main() {
                 };
                 let (l_share, l_cov) = cov(&fig1, "L°");
                 let (_, ar_cov) = cov(&fig1, "AR°");
-                check("fig1: L° share > 5% with ≈0 coverage", l_share > 0.05 && l_cov < 0.02);
-                check("fig1: AR° coverage ≫ L° coverage", ar_cov > 10.0 * l_cov.max(0.005));
+                check(
+                    "fig1: L° share > 5% with ≈0 coverage",
+                    l_share > 0.05 && l_cov < 0.02,
+                );
+                check(
+                    "fig1: AR° coverage ≫ L° coverage",
+                    ar_cov > 10.0 * l_cov.max(0.005),
+                );
                 let fig2 = scenario.fig2();
                 let (s_tr_share, s_tr_cov) = cov(&fig2, "S-TR");
                 let (tr_share, tr_cov) = cov(&fig2, "TR°");
                 let (_, s_t1_cov) = cov(&fig2, "S-T1");
                 let (_, t1_tr_cov) = cov(&fig2, "T1-TR");
-                check("fig2: majority classes hold >70% of links", s_tr_share + tr_share > 0.7);
-                check("fig2: majority classes ≤ 0.2 coverage", s_tr_cov < 0.2 && tr_cov < 0.2);
-                check("fig2: Tier-1 classes ≥ 0.5 coverage", s_t1_cov > 0.5 && t1_tr_cov > 0.5);
+                check(
+                    "fig2: majority classes hold >70% of links",
+                    s_tr_share + tr_share > 0.7,
+                );
+                check(
+                    "fig2: majority classes ≤ 0.2 coverage",
+                    s_tr_cov < 0.2 && tr_cov < 0.2,
+                );
+                check(
+                    "fig2: Tier-1 classes ≥ 0.5 coverage",
+                    s_t1_cov > 0.5 && t1_tr_cov > 0.5,
+                );
                 let (hm_inf, hm_val) = scenario.heatmaps(HeatmapMetric::TransitDegree);
                 check(
                     "fig3: inferred TR° mass concentrated bottom-left",
@@ -379,9 +465,18 @@ fn main() {
                     check(&format!("{name}: T1-TR MCC drops ≥ 0.05"), t1_tr_ok);
                 }
                 let report = &scenario.validation.report;
-                check("cleaning: AS_TRANS artefacts present", report.as_trans_dropped > 0);
-                check("cleaning: reserved-ASN leaks present", report.reserved_dropped > 0);
-                check("cleaning: ambiguous entries present", report.ambiguous_found > 0);
+                check(
+                    "cleaning: AS_TRANS artefacts present",
+                    report.as_trans_dropped > 0,
+                );
+                check(
+                    "cleaning: reserved-ASN leaks present",
+                    report.reserved_dropped > 0,
+                );
+                check(
+                    "cleaning: ambiguous entries present",
+                    report.ambiguous_found > 0,
+                );
                 let scored = scenario.scored_in_class("asrank", "T1-TR");
                 let lg = bgpsim::LookingGlass::new(&scenario.topology);
                 let asrank = scenario.inference("asrank").expect("asrank always runs");
@@ -409,7 +504,11 @@ fn main() {
                     "
 overall: {}
 ",
-                    if ok_all { "ALL CHECKS PASS" } else { "SOME CHECKS FAILED" }
+                    if ok_all {
+                        "ALL CHECKS PASS"
+                    } else {
+                        "SOME CHECKS FAILED"
+                    }
                 ));
                 emit("verify_checklist", text, None);
             }
@@ -456,17 +555,15 @@ overall: {}
             "ablation_666" => {
                 // The 3356:666 ambiguity: how much peering coverage does a
                 // conservative blackhole-aware pipeline lose?
-                let mut text = String::from("# Ablation: skip :666 as blackhole (§3.2 ambiguity)\n");
+                let mut text =
+                    String::from("# Ablation: skip :666 as blackhole (§3.2 ambiguity)\n");
                 for skip in [false, true] {
                     let cfg = valdata::ValDataConfig {
                         skip_666_as_blackhole: skip,
                         ..scenario.config.valdata.clone()
                     };
-                    let set = valdata::compile_communities(
-                        &scenario.topology,
-                        &scenario.snapshot,
-                        &cfg,
-                    );
+                    let set =
+                        valdata::compile_communities(&scenario.topology, &scenario.snapshot, &cfg);
                     let p2p = set
                         .entries
                         .values()
@@ -484,20 +581,15 @@ overall: {}
             "ablation_legacy" => {
                 // AS_TRANS census with and without the legacy decoding
                 // pipeline.
-                let mut text =
-                    String::from("# Ablation: legacy AS4_PATH-ignorant pipeline\n");
+                let mut text = String::from("# Ablation: legacy AS4_PATH-ignorant pipeline\n");
                 for legacy in [true, false] {
                     let cfg = valdata::ValDataConfig {
                         legacy_pipeline: legacy,
                         ..scenario.config.valdata.clone()
                     };
-                    let set = valdata::compile_communities(
-                        &scenario.topology,
-                        &scenario.snapshot,
-                        &cfg,
-                    );
-                    let census =
-                        valdata::compile::label_census(&scenario.topology, &set);
+                    let set =
+                        valdata::compile_communities(&scenario.topology, &scenario.snapshot, &cfg);
+                    let census = valdata::compile::label_census(&scenario.topology, &set);
                     text.push_str(&format!(
                         "legacy={legacy:<5}  total={:<6} as_trans={:<4} reserved={:<4} multi={:<4} siblings={}\n",
                         census["total_links"],
@@ -511,5 +603,51 @@ overall: {}
             }
             other => eprintln!("unknown target {other:?} — skipping"),
         }
+    }
+
+    if breval_obs::enabled() {
+        let scenario_name = if args.small { "small" } else { "default" };
+        let manifest =
+            breval_obs::RunManifest::capture(scenario_name, scenario.config.topology.seed)
+                .with_config("total_ases", scenario.config.topology.total_ases())
+                .with_config("targets", args.targets.len())
+                .with_config("observed_links", scenario.inferred_links.len())
+                .with_config("validation_raw", scenario.validation_raw.len())
+                .with_config("validation_clean", scenario.validation.len());
+        let manifest_path = args.out.join("run_manifest.json");
+        manifest
+            .write_json(&manifest_path)
+            .expect("write run manifest");
+        eprintln!("{}", manifest.render_table());
+        eprintln!("run manifest written to {}", manifest_path.display());
+
+        let total_wall_ms = manifest
+            .stages
+            .iter()
+            .find(|s| s.name == "scenario_run")
+            .map(|s| s.wall_ms)
+            .unwrap_or(0.0);
+        let bench = BenchObs {
+            name: "experiments".to_owned(),
+            scenario: scenario_name.to_owned(),
+            seed: scenario.config.topology.seed,
+            total_wall_ms,
+            stage_wall_ms: manifest
+                .stages
+                .iter()
+                .map(|s| (s.name.clone(), s.wall_ms))
+                .collect(),
+            counters: manifest.counters.clone(),
+        };
+        // Pin to the repository root regardless of the invocation cwd.
+        let bench_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_obs.json");
+        std::fs::write(
+            &bench_path,
+            serde_json::to_string_pretty(&bench).expect("serializable"),
+        )
+        .expect("write BENCH_obs.json");
+        eprintln!("benchmark summary written to {}", bench_path.display());
     }
 }

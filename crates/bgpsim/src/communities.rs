@@ -129,10 +129,7 @@ impl AnyCommunity {
                 u32::from(ACTION_NO_EXPORT_TO_PEERS),
             ))
         } else {
-            AnyCommunity::Classic(Community::new(
-                provider.0 as u16,
-                ACTION_NO_EXPORT_TO_PEERS,
-            ))
+            AnyCommunity::Classic(Community::new(provider.0 as u16, ACTION_NO_EXPORT_TO_PEERS))
         }
     }
 
@@ -271,10 +268,7 @@ mod tests {
         // Both t1 and transit tag "learned from customer".
         assert_eq!(comms.len(), 2);
         assert_eq!(comms[0].asn_part(), t1.0);
-        assert_eq!(
-            comms[0].value_part(),
-            u32::from(scheme_of(t1).customer)
-        );
+        assert_eq!(comms[0].value_part(), u32::from(scheme_of(t1).customer));
         assert_eq!(comms[1].asn_part(), transit.0);
     }
 
@@ -286,7 +280,9 @@ mod tests {
         let (link, _) = topo
             .links
             .iter()
-            .find(|(l, r)| r.partial_transit && r.base.provider() == Some(cogent) && l.contains(cogent))
+            .find(|(l, r)| {
+                r.partial_transit && r.base.provider() == Some(cogent) && l.contains(cogent)
+            })
             .expect("cogent partial customer exists");
         let customer = link.other(cogent).unwrap();
         let path = vec![cogent, customer];

@@ -431,7 +431,9 @@ mod tests {
         for origin in origins {
             let routes = engine.propagate(origin);
             for node in (0..g.len() as u32).step_by(53) {
-                let Some(path) = routes.path(node, &g) else { continue };
+                let Some(path) = routes.path(node, &g) else {
+                    continue;
+                };
                 asgraph::check_valley_free(&graph, &path)
                     .unwrap_or_else(|v| panic!("{v} in path {path:?}"));
             }
@@ -461,12 +463,13 @@ mod tests {
             }
             let node = g.node(*t1).unwrap();
             if let Some(path) = routes.path(node, &g) {
-                let via_cogent =
-                    path.windows(2).any(|w| w[0] == topo.cogent && w[1] != topo.cogent);
+                let via_cogent = path
+                    .windows(2)
+                    .any(|w| w[0] == topo.cogent && w[1] != topo.cogent);
                 // The path may *start* elsewhere; cogent must not appear as a
                 // transit hop between the T1 and the origin.
                 assert!(
-                    !path.contains(&topo.cogent) || via_cogent == false,
+                    !path.contains(&topo.cogent) || !via_cogent,
                     "scoped route leaked through cogent: {path:?}"
                 );
                 assert!(

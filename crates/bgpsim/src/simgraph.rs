@@ -24,9 +24,7 @@ impl SimGraph {
     pub fn build(topology: &Topology) -> Self {
         let asn_of: Vec<Asn> = topology.ases.keys().copied().collect();
         let n = asn_of.len();
-        let idx = |asn: Asn| -> Option<u32> {
-            asn_of.binary_search(&asn).ok().map(|i| i as u32)
-        };
+        let idx = |asn: Asn| -> Option<u32> { asn_of.binary_search(&asn).ok().map(|i| i as u32) };
         let mut providers = vec![Vec::new(); n];
         let mut customers = vec![Vec::new(); n];
         let mut peers = vec![Vec::new(); n];
@@ -156,8 +154,7 @@ mod tests {
         for asn in graph.ases() {
             let i = g.node(asn).unwrap();
             assert_eq!(g.asn(i), asn);
-            let mut sim_provs: Vec<Asn> =
-                g.providers(i).iter().map(|(p, _)| g.asn(*p)).collect();
+            let mut sim_provs: Vec<Asn> = g.providers(i).iter().map(|(p, _)| g.asn(*p)).collect();
             sim_provs.sort();
             assert_eq!(sim_provs, graph.providers(asn));
             let mut sim_peers: Vec<Asn> = g.peers(i).iter().map(|p| g.asn(*p)).collect();
@@ -173,11 +170,7 @@ mod tests {
     fn partial_flags_survive() {
         let topo = topogen::generate(&TopologyConfig::small(5));
         let g = SimGraph::build(&topo);
-        let n_partial_topo = topo
-            .links
-            .values()
-            .filter(|r| r.partial_transit)
-            .count();
+        let n_partial_topo = topo.links.values().filter(|r| r.partial_transit).count();
         let n_partial_sim: usize = (0..g.len() as u32)
             .map(|i| g.providers(i).iter().filter(|(_, p)| *p).count())
             .sum();

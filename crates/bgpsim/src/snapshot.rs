@@ -4,7 +4,7 @@
 use crate::communities::{collector_communities, AnyCommunity};
 use crate::propagate::{Propagator, RouteClass};
 use crate::simgraph::SimGraph;
-use asgraph::{asn::AS_TRANS, Asn, AsPath, PathSet};
+use asgraph::{asn::AS_TRANS, AsPath, Asn, PathSet};
 use bgpwire::{
     attrs::{flatten_segments, AsPathSegment, PathAttribute},
     mrt, Community, LargeCommunity, WireError,
@@ -51,6 +51,7 @@ pub fn simulate(topology: &Topology) -> RibSnapshot {
 /// [`simulate`] reusing a pre-built graph.
 #[must_use]
 pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot {
+    let _span = breval_obs::span!("simulate");
     let vps: Vec<(u32, topogen::CollectorPeer)> = topology
         .collector_peers
         .iter()
@@ -75,12 +76,13 @@ pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot
                     let mut out = Vec::new();
                     for &origin in *chunk {
                         let asn = graph.asn(origin);
-                        let Some(info) = topology.info(asn) else { continue };
+                        let Some(info) = topology.info(asn) else {
+                            continue;
+                        };
                         // Group this origin's prefixes by their TE mask so
                         // each distinct announcement scope propagates once.
                         let providers = graph.providers(origin);
-                        let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> =
-                            Vec::new();
+                        let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> = Vec::new();
                         for (i, prefix) in info.prefixes.iter().enumerate() {
                             let mask = info
                                 .prefix_te
@@ -131,8 +133,10 @@ pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot
     })
     .expect("crossbeam scope");
 
+    let observations: Vec<RouteObservation> = per_chunk.into_iter().flatten().collect();
+    breval_obs::counter("route_observations", observations.len() as u64);
     RibSnapshot {
-        observations: per_chunk.into_iter().flatten().collect(),
+        observations,
         collector_peers: topology.collector_peers.clone(),
     }
 }
@@ -146,6 +150,7 @@ impl RibSnapshot {
     /// what a tool that ignores `AS4_PATH` would extract.
     #[must_use]
     pub fn to_pathset(&self, legacy_as4: bool) -> PathSet {
+        let _span = breval_obs::span!("to_pathset");
         let two_byte: std::collections::BTreeSet<Asn> = self
             .collector_peers
             .iter()
@@ -164,6 +169,7 @@ impl RibSnapshot {
             };
             ps.push(obs.vp, AsPath::new(hops));
         }
+        breval_obs::counter("paths_exported", ps.len() as u64);
         ps
     }
 
@@ -196,10 +202,8 @@ impl RibSnapshot {
             .collect();
 
         // Group observations per announced prefix.
-        let mut by_prefix: std::collections::BTreeMap<
-            bgpwire::Ipv4Prefix,
-            Vec<&RouteObservation>,
-        > = std::collections::BTreeMap::new();
+        let mut by_prefix: std::collections::BTreeMap<bgpwire::Ipv4Prefix, Vec<&RouteObservation>> =
+            std::collections::BTreeMap::new();
         for obs in &self.observations {
             by_prefix.entry(obs.prefix).or_default().push(obs);
         }
@@ -312,14 +316,14 @@ mod tests {
     use topogen::TopologyConfig;
 
     fn snapshot() -> (Topology, RibSnapshot) {
-        let topo = topogen::generate(&TopologyConfig::small(17));
+        let topo = topogen::generate(&TopologyConfig::small(16));
         let snap = simulate(&topo);
         (topo, snap)
     }
 
     #[test]
     fn simulation_is_deterministic() {
-        let topo = topogen::generate(&TopologyConfig::small(17));
+        let topo = topogen::generate(&TopologyConfig::small(16));
         let a = simulate(&topo);
         let b = simulate(&topo);
         assert_eq!(a.observations, b.observations);

@@ -192,9 +192,10 @@ impl PathAttribute {
 
     fn canonical_flags(&self) -> u8 {
         match self {
-            PathAttribute::Origin(_) | PathAttribute::AsPath(_) | PathAttribute::NextHop(_) | PathAttribute::LocalPref(_) => {
-                flag::TRANSITIVE
-            }
+            PathAttribute::Origin(_)
+            | PathAttribute::AsPath(_)
+            | PathAttribute::NextHop(_)
+            | PathAttribute::LocalPref(_) => flag::TRANSITIVE,
             PathAttribute::Med(_) => flag::OPTIONAL,
             PathAttribute::Communities(_)
             | PathAttribute::As4Path(_)
@@ -351,7 +352,10 @@ impl PathAttribute {
 /// order — adequate for inference pipelines, which discard set paths anyway).
 #[must_use]
 pub fn flatten_segments(segments: &[AsPathSegment]) -> Vec<Asn> {
-    segments.iter().flat_map(|s| s.asns.iter().copied()).collect()
+    segments
+        .iter()
+        .flat_map(|s| s.asns.iter().copied())
+        .collect()
 }
 
 /// Reconstructs the true 4-byte path from an `AS_PATH` containing `AS_TRANS`
@@ -419,10 +423,7 @@ mod tests {
 
     #[test]
     fn communities_roundtrip() {
-        let a = PathAttribute::Communities(vec![
-            Community::new(174, 990),
-            Community::NO_EXPORT,
-        ]);
+        let a = PathAttribute::Communities(vec![Community::new(174, 990), Community::NO_EXPORT]);
         assert_eq!(roundtrip(&a, AsnEncoding::FourByte), a);
     }
 
@@ -485,10 +486,7 @@ mod tests {
             vec![Asn(65_001), Asn(200_001), Asn(200_002)]
         );
         // AS4_PATH longer than AS_PATH → keep AS_PATH.
-        assert_eq!(
-            reconstruct_as4(&[Asn(1)], &[Asn(2), Asn(3)]),
-            vec![Asn(1)]
-        );
+        assert_eq!(reconstruct_as4(&[Asn(1)], &[Asn(2), Asn(3)]), vec![Asn(1)]);
         assert_eq!(reconstruct_as4(&[Asn(1)], &[]), vec![Asn(1)]);
     }
 }

@@ -61,7 +61,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::Truncated { context, expected } => {
-                write!(f, "truncated input decoding {context}: needed {expected} more bytes")
+                write!(
+                    f,
+                    "truncated input decoding {context}: needed {expected} more bytes"
+                )
             }
             WireError::BadMarker => write!(f, "BGP marker is not all-ones"),
             WireError::UnexpectedMessageType { found } => {

@@ -222,7 +222,10 @@ impl RibIpv4Unicast {
             body.advance(attr_len);
             let mut attributes = Vec::new();
             while attr_bytes.has_remaining() {
-                attributes.push(PathAttribute::decode(&mut attr_bytes, AsnEncoding::FourByte)?);
+                attributes.push(PathAttribute::decode(
+                    &mut attr_bytes,
+                    AsnEncoding::FourByte,
+                )?);
             }
             entries.push(RibEntry {
                 peer_index,

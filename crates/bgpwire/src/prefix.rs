@@ -45,6 +45,12 @@ impl Ipv4Prefix {
         self.len
     }
 
+    /// `true` for a zero-bit prefix (the default route).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
     /// `true` for the zero-length default route.
     #[must_use]
     pub fn is_default(&self) -> bool {
@@ -153,7 +159,13 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24", "198.51.100.4/30", "1.2.3.4/32"] {
+        for s in [
+            "0.0.0.0/0",
+            "10.0.0.0/8",
+            "192.0.2.0/24",
+            "198.51.100.4/30",
+            "1.2.3.4/32",
+        ] {
             let p: Ipv4Prefix = s.parse().unwrap();
             assert_eq!(p.to_string(), s);
         }

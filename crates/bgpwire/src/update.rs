@@ -1,9 +1,7 @@
 //! BGP UPDATE messages (RFC 4271 §4.3).
 
-use crate::attrs::{
-    flatten_segments, reconstruct_as4, AsPathSegment, PathAttribute,
-};
 pub use crate::attrs::AsnEncoding;
+use crate::attrs::{flatten_segments, reconstruct_as4, AsPathSegment, PathAttribute};
 use crate::community::Community;
 use crate::error::WireError;
 use crate::prefix::Ipv4Prefix;
@@ -33,7 +31,11 @@ impl UpdateMessage {
     /// an `AS4_PATH` is automatically included if the path contains 4-byte
     /// ASNs (RFC 6793 behaviour).
     #[must_use]
-    pub fn announcement(nlri: Vec<Ipv4Prefix>, path: Vec<Asn>, communities: Vec<Community>) -> Self {
+    pub fn announcement(
+        nlri: Vec<Ipv4Prefix>,
+        path: Vec<Asn>,
+        communities: Vec<Community>,
+    ) -> Self {
         let mut attributes = vec![
             PathAttribute::Origin(0),
             PathAttribute::AsPath(vec![AsPathSegment::sequence(path)]),
@@ -336,11 +338,8 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        let msg = UpdateMessage::announcement(
-            vec![prefix("192.0.2.0/24")],
-            vec![Asn(1), Asn(2)],
-            vec![],
-        );
+        let msg =
+            UpdateMessage::announcement(vec![prefix("192.0.2.0/24")], vec![Asn(1), Asn(2)], vec![]);
         let bytes = msg.encode(AsnEncoding::FourByte);
         for cut in [0, 5, 18, bytes.len() - 1] {
             let mut slice = &bytes[..cut];

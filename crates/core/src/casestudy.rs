@@ -78,9 +78,7 @@ pub fn run_case_study(
     // Target links: inferred P2P, validated P2C.
     let targets: Vec<Link> = scored_t1_tr
         .iter()
-        .filter(|s| {
-            s.inferred.class() == RelClass::P2p && s.validation.class() == RelClass::P2c
-        })
+        .filter(|s| s.inferred.class() == RelClass::P2p && s.validation.class() == RelClass::P2c)
         .map(|s| s.link)
         .collect();
 
@@ -113,7 +111,9 @@ pub fn run_case_study(
         if !link.contains(focus) {
             continue;
         }
-        let Some(neighbor) = link.other(focus) else { continue };
+        let Some(neighbor) = link.other(focus) else {
+            continue;
+        };
         let triplets = clique_triplets.get(&neighbor).copied().unwrap_or(0);
         let action = AnyCommunity::action_no_export_to_peers(focus);
         let reason = match lg.query(focus, neighbor) {

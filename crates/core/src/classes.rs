@@ -236,7 +236,9 @@ mod tests {
             "AR-L"
         );
         // Unmapped / reserved endpoints yield None.
-        assert!(c.region_class(Link::new(Asn(5), Asn(9999)).unwrap()).is_none());
+        assert!(c
+            .region_class(Link::new(Asn(5), Asn(9999)).unwrap())
+            .is_none());
         assert!(c
             .region_class(Link::new(Asn(5), Asn(64512)).unwrap())
             .is_none());
@@ -262,10 +264,7 @@ mod tests {
         assert_eq!(c.topo_class(Link::new(Asn(500), Asn(10)).unwrap()), "H-TR");
         assert_eq!(c.topo_class(Link::new(Asn(500), Asn(100)).unwrap()), "H-S");
         assert_eq!(c.topo_class(Link::new(Asn(500), Asn(1)).unwrap()), "H-T1");
-        assert_eq!(
-            c.topo_class(Link::new(Asn(100), Asn(101)).unwrap()),
-            "S°"
-        );
-        assert!(c.is_tr_tr(Link::new(Asn(10), Asn(11)).unwrap()) == false);
+        assert_eq!(c.topo_class(Link::new(Asn(100), Asn(101)).unwrap()), "S°");
+        assert!(!c.is_tr_tr(Link::new(Asn(10), Asn(11)).unwrap()));
     }
 }

@@ -113,6 +113,7 @@ impl CleanValidation {
 /// Runs the §4.2 cleaning pipeline.
 #[must_use]
 pub fn clean(set: &ValidationSet, org: &As2Org, cfg: &CleaningConfig) -> CleanValidation {
+    let _span = breval_obs::span!("clean_validation");
     let mut report = CleaningReport {
         raw_links: set.len(),
         ..Default::default()
@@ -163,15 +164,14 @@ pub fn clean(set: &ValidationSet, org: &As2Org, cfg: &CleaningConfig) -> CleanVa
                         report.ambiguous_dropped += 1;
                         None
                     }
-                    AmbiguousPolicy::P2pIfFirstP2p => Some(if distinct[0].class() == RelClass::P2p
-                    {
-                        Rel::P2p
-                    } else {
-                        first_p2c(&distinct).unwrap_or(distinct[0])
-                    }),
-                    AmbiguousPolicy::AlwaysP2c => {
-                        Some(first_p2c(&distinct).unwrap_or(distinct[0]))
+                    AmbiguousPolicy::P2pIfFirstP2p => {
+                        Some(if distinct[0].class() == RelClass::P2p {
+                            Rel::P2p
+                        } else {
+                            first_p2c(&distinct).unwrap_or(distinct[0])
+                        })
                     }
+                    AmbiguousPolicy::AlwaysP2c => Some(first_p2c(&distinct).unwrap_or(distinct[0])),
                 }
             }
         };
@@ -180,6 +180,11 @@ pub fn clean(set: &ValidationSet, org: &As2Org, cfg: &CleaningConfig) -> CleanVa
         }
     }
     report.clean_links = labels.len();
+    breval_obs::counter("validation_labels_cleaned", labels.len() as u64);
+    breval_obs::counter(
+        "validation_labels_dropped",
+        (report.raw_links - labels.len()) as u64,
+    );
     CleanValidation { labels, report }
 }
 

@@ -39,7 +39,9 @@ where
     let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     let mut classified_total = 0usize;
     for link in inferred {
-        let Some(class) = class_of(*link) else { continue };
+        let Some(class) = class_of(*link) else {
+            continue;
+        };
         classified_total += 1;
         let entry = per_class.entry(class).or_insert((0, 0));
         entry.0 += 1;
@@ -77,12 +79,17 @@ mod tests {
 
     #[test]
     fn shares_and_coverage() {
-        let inferred: BTreeSet<Link> =
-            [link(1, 2), link(1, 3), link(2, 3), link(10, 11)].into_iter().collect();
+        let inferred: BTreeSet<Link> = [link(1, 2), link(1, 3), link(2, 3), link(10, 11)]
+            .into_iter()
+            .collect();
         let validated: BTreeSet<Link> = [link(1, 2), link(10, 11)].into_iter().collect();
         // Class: "low" for links among 1-3, "high" for 10+.
         let rows = coverage_by_class(&inferred, &validated, |l| {
-            Some(if l.a().0 < 10 { "low".into() } else { "high".into() })
+            Some(if l.a().0 < 10 {
+                "low".into()
+            } else {
+                "high".into()
+            })
         });
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].class, "low");
@@ -101,7 +108,10 @@ mod tests {
             (l.a().0 == 1).then(|| "x".to_string())
         });
         assert_eq!(rows.len(), 1);
-        assert!((rows[0].share - 1.0).abs() < 1e-12, "share over classified only");
+        assert!(
+            (rows[0].share - 1.0).abs() < 1e-12,
+            "share over classified only"
+        );
     }
 
     #[test]

@@ -134,8 +134,7 @@ pub fn classify_hard_links(
                     && !vps.contains(&b)
                     && !clique.contains(&a)
                     && !clique.contains(&b),
-                stub_without_clique_pair: (a_stub || b_stub)
-                    && !has_clique_pair.contains(link),
+                stub_without_clique_pair: (a_stub || b_stub) && !has_clique_pair.contains(link),
                 conflicting_votes: down_votes.get(&(a, b)).copied().unwrap_or(0) > 0
                     && down_votes.get(&(b, a)).copied().unwrap_or(0) > 0,
             };
@@ -198,7 +197,8 @@ pub fn hard_link_report(
         }
     }
 
-    let criteria: [(&str, fn(&HardLinkFlags) -> bool); 5] = [
+    type FlagCriterion = (&'static str, fn(&HardLinkFlags) -> bool);
+    let criteria: [FlagCriterion; 5] = [
         ("low_degree", |f| f.low_degree),
         ("mid_visibility", |f| f.mid_visibility),
         ("remote", |f| f.remote),

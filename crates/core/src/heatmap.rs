@@ -154,7 +154,7 @@ mod tests {
             y_max: 40,
         };
         // Metric = ASN value.
-        let links = [link(5, 15), link(5, 100), link(39, 39_0)];
+        let links = [link(5, 15), link(5, 100), link(39, 390)];
         let hm = Heatmap::build(links.iter(), |a| a.0 as usize, cfg);
         assert_eq!(hm.links, 3);
         let sum: f64 = hm.cells.iter().flatten().sum();
@@ -189,17 +189,13 @@ mod tests {
         let b = Heatmap::build(links.iter(), |x| x.0 as usize, cfg);
         assert_eq!(a.tv_distance(&b), 0.0);
         // Disjoint distributions → distance 1.
-        let c = Heatmap::build([link(29, 29_9)].iter(), |x| x.0 as usize, cfg);
+        let c = Heatmap::build([link(29, 299)].iter(), |x| x.0 as usize, cfg);
         assert!(a.tv_distance(&c) > 0.49);
     }
 
     #[test]
     fn empty_input_is_all_zero() {
-        let hm = Heatmap::build(
-            std::iter::empty(),
-            |_| 0,
-            HeatmapConfig::transit_degree(),
-        );
+        let hm = Heatmap::build(std::iter::empty(), |_| 0, HeatmapConfig::transit_degree());
         assert_eq!(hm.links, 0);
         assert!(hm.cells.iter().flatten().all(|c| *c == 0.0));
     }

@@ -83,7 +83,9 @@ pub fn compute_link_metrics(
         let mut hops = obs.path.clone();
         hops.dedup();
         for (i, w) in hops.windows(2).enumerate() {
-            let Some(link) = Link::new(w[0], w[1]) else { continue };
+            let Some(link) = Link::new(w[0], w[1]) else {
+                continue;
+            };
             let entry = acc.entry(link).or_insert_with(|| Acc {
                 vps: HashSet::new(),
                 prefixes: HashSet::new(),
@@ -128,17 +130,9 @@ pub fn compute_link_metrics(
             let metrics = LinkMetrics {
                 visibility: a.vps.len(),
                 prefixes_redistributed: a.prefixes.len(),
-                addresses_redistributed: a
-                    .prefixes
-                    .iter()
-                    .map(|p| p.address_count())
-                    .sum(),
+                addresses_redistributed: a.prefixes.iter().map(|p| p.address_count()).sum(),
                 prefixes_originated: a.originated.len(),
-                addresses_originated: a
-                    .originated
-                    .iter()
-                    .map(|p| p.address_count())
-                    .sum(),
+                addresses_originated: a.originated.iter().map(|p| p.address_count()).sum(),
                 left_ases: a.left.len().saturating_sub(1),
                 right_ases: a.right.len().saturating_sub(1),
                 transit_degree_diff: rel_diff(stats.transit_degree(x), stats.transit_degree(y)),
@@ -182,12 +176,9 @@ pub fn error_by_feature_quartile(
     let mut pairs: Vec<(f64, bool)> = scored
         .iter()
         .filter_map(|s| {
-            metrics.get(&s.link).map(|m| {
-                (
-                    value(m),
-                    s.validation.class() != s.inferred.class(),
-                )
-            })
+            metrics
+                .get(&s.link)
+                .map(|m| (value(m), s.validation.class() != s.inferred.class()))
         })
         .collect();
     if pairs.is_empty() {
@@ -229,11 +220,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> = topo
-            .links
-            .iter()
-            .map(|(l, r)| (*l, r.base))
-            .collect();
+        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
         // Every observed link gets a metric row.
         for link in stats.links().iter().take(500) {
@@ -260,8 +247,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> =
-            topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
+        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
         assert!(!topo.ixps.is_empty(), "generator must emit IXPs");
         // Some observed link connects two co-members of an IXP.
@@ -274,8 +260,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> =
-            topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
+        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
         // Score ground truth against itself with a few synthetic errors.
         let scored: Vec<ScoredLink> = stats
@@ -302,9 +287,8 @@ mod tests {
                 })
             })
             .collect();
-        let rows = error_by_feature_quartile(&scored, &metrics, "visibility", |m| {
-            m.visibility as f64
-        });
+        let rows =
+            error_by_feature_quartile(&scored, &metrics, "visibility", |m| m.visibility as f64);
         assert_eq!(rows.len(), 4);
         let total: usize = rows.iter().map(|r| r.links).sum();
         assert_eq!(total, scored.len());

@@ -258,11 +258,11 @@ mod tests {
     #[test]
     fn confusion_hand_computed() {
         let s = vec![
-            scored(P2P, P2P),          // TP (p2p positive)
-            scored(P2P, p2c(1)),       // FN
-            scored(p2c(1), P2P),       // FP
-            scored(p2c(1), p2c(1)),    // TN
-            scored(p2c(1), p2c(1)),    // TN
+            scored(P2P, P2P),       // TP (p2p positive)
+            scored(P2P, p2c(1)),    // FN
+            scored(p2c(1), P2P),    // FP
+            scored(p2c(1), p2c(1)), // TN
+            scored(p2c(1), p2c(1)), // TN
         ];
         let m = confusion(&s, RelClass::P2p);
         assert_eq!(

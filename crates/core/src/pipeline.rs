@@ -12,6 +12,7 @@ use asinfer::{AsRank, Classifier, GaoClassifier, Inference, ProbLink, TopoScope}
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
 use topogen::{Topology, TopologyConfig};
 use valdata::{ValDataConfig, ValidationSet};
 
@@ -94,24 +95,33 @@ pub struct Scenario {
     pub validation: CleanValidation,
     /// Link classifier (§5).
     pub classifier: LinkClassifier,
+    /// Per-classifier scored-link joins, computed lazily once each
+    /// (see [`Scenario::scored_arc`]).
+    scored_cache: Mutex<BTreeMap<String, Arc<Vec<ScoredLink>>>>,
 }
 
 impl Scenario {
     /// Runs the whole pipeline.
     #[must_use]
     pub fn run(config: ScenarioConfig) -> Self {
+        let _span = breval_obs::span!("scenario_run");
         let topology = topogen::generate(&config.topology);
         let snapshot = bgpsim::simulate(&topology);
         let paths = snapshot.to_pathset(false).sanitized();
-        let stats = paths.stats();
+        let stats = {
+            let _span = breval_obs::span!("path_stats");
+            let stats = paths.stats();
+            breval_obs::counter("links_inferred", stats.links().len() as u64);
+            stats
+        };
         let inferred_links: BTreeSet<Link> = stats.links().clone();
 
         let mut inferences: BTreeMap<String, Inference> = BTreeMap::new();
-        let asrank = AsRank::new().infer(&paths);
-        inferences.insert("problink".into(), ProbLink::new().infer(&paths));
-        inferences.insert("toposcope".into(), TopoScope::new().infer(&paths));
+        let asrank = AsRank::new().infer_observed(&paths);
+        inferences.insert("problink".into(), ProbLink::new().infer_observed(&paths));
+        inferences.insert("toposcope".into(), TopoScope::new().infer_observed(&paths));
         if config.include_gao {
-            inferences.insert("gao".into(), GaoClassifier::new().infer(&paths));
+            inferences.insert("gao".into(), GaoClassifier::new().infer_observed(&paths));
         }
 
         let validation_raw = valdata::compile_all(&topology, &snapshot, &config.valdata);
@@ -125,13 +135,17 @@ impl Scenario {
 
         // The §5 classifier derives cones from ASRank's inference (the CAIDA
         // cone dataset analogue) and takes the Tier-1 / hypergiant lists.
-        let inferred_graph = graph_of(&asrank);
-        let classifier = LinkClassifier::new(
-            region_map(&topology),
-            &inferred_graph,
-            topology.tier1.clone(),
-            topology.hypergiants.clone(),
-        );
+        let classifier = {
+            let _span = breval_obs::span!("link_classifier");
+            let inferred_graph = graph_of(&asrank);
+            breval_obs::counter("classifier_cone_links", asrank.rels.len() as u64);
+            LinkClassifier::new(
+                region_map(&topology),
+                &inferred_graph,
+                topology.tier1.clone(),
+                topology.hypergiants.clone(),
+            )
+        };
         inferences.insert("asrank".into(), asrank);
 
         Scenario {
@@ -145,6 +159,7 @@ impl Scenario {
             validation_raw,
             validation,
             classifier,
+            scored_cache: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -155,8 +170,23 @@ impl Scenario {
     }
 
     /// Joins one classifier's inferences with the cleaned validation labels.
+    ///
+    /// The join is computed at most once per classifier and cached; this
+    /// returns a shared handle to the cached vector. Prefer this over
+    /// [`Scenario::scored`] when the result is only read.
     #[must_use]
-    pub fn scored(&self, classifier_name: &str) -> Vec<ScoredLink> {
+    pub fn scored_arc(&self, classifier_name: &str) -> Arc<Vec<ScoredLink>> {
+        let mut cache = self.scored_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = cache.get(classifier_name) {
+            return Arc::clone(hit);
+        }
+        breval_obs::counter("scored_join_computed", 1);
+        let computed = Arc::new(self.compute_scored(classifier_name));
+        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
+        computed
+    }
+
+    fn compute_scored(&self, classifier_name: &str) -> Vec<ScoredLink> {
         let Some(inference) = self.inferences.get(classifier_name) else {
             return Vec::new();
         };
@@ -173,11 +203,19 @@ impl Scenario {
             .collect()
     }
 
+    /// Joins one classifier's inferences with the cleaned validation labels,
+    /// returning an owned copy (see [`Scenario::scored_arc`] for the
+    /// borrowing variant backing it).
+    #[must_use]
+    pub fn scored(&self, classifier_name: &str) -> Vec<ScoredLink> {
+        self.scored_arc(classifier_name).to_vec()
+    }
+
     /// Scored links restricted to one class label (regional or topological).
     #[must_use]
     pub fn scored_in_class(&self, classifier_name: &str, class: &str) -> Vec<ScoredLink> {
-        self.scored(classifier_name)
-            .into_iter()
+        self.scored_arc(classifier_name)
+            .iter()
             .filter(|s| {
                 self.classifier
                     .region_class(s.link)
@@ -185,6 +223,7 @@ impl Scenario {
                     .unwrap_or(false)
                     || self.classifier.topo_class(s.link) == class
             })
+            .copied()
             .collect()
     }
 
@@ -192,7 +231,7 @@ impl Scenario {
     /// topological class rows merged into one table.
     #[must_use]
     pub fn eval_table(&self, classifier_name: &str) -> EvalTable {
-        let scored = self.scored(classifier_name);
+        let scored = self.scored_arc(classifier_name);
         let regional = EvalTable::build(
             classifier_name,
             &scored,
@@ -249,8 +288,7 @@ impl Scenario {
             .copied()
             .collect();
 
-        let vp_set: BTreeSet<asgraph::Asn> =
-            self.paths.vantage_points().into_iter().collect();
+        let vp_set: BTreeSet<asgraph::Asn> = self.paths.vantage_points().into_iter().collect();
         let (tr_links, validated) = if metric == HeatmapMetric::PpdcNoVp {
             (
                 tr_links
@@ -373,7 +411,7 @@ mod tests {
     }
 
     #[test]
-    fn heatmaps_are_normalised(){
+    fn heatmaps_are_normalised() {
         let s = scenario();
         for metric in [
             HeatmapMetric::TransitDegree,

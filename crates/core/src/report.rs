@@ -227,12 +227,36 @@ pub fn sampling_csv(points: &[SamplePoint]) -> String {
 pub fn render_cleaning(report: &CleaningReport) -> String {
     let mut out = String::from("# Label quality & treatment (§4.2)\n");
     let _ = writeln!(out, "raw validated links:        {}", report.raw_links);
-    let _ = writeln!(out, "AS_TRANS entries dropped:   {}", report.as_trans_dropped);
-    let _ = writeln!(out, "reserved-ASN entries:       {}", report.reserved_dropped);
-    let _ = writeln!(out, "multi-label (ambiguous):    {}", report.ambiguous_found);
-    let _ = writeln!(out, "  dropped by policy:        {}", report.ambiguous_dropped);
-    let _ = writeln!(out, "sibling links dropped:      {}", report.sibling_dropped);
-    let _ = writeln!(out, "S2S-labelled entries:       {}", report.s2s_label_dropped);
+    let _ = writeln!(
+        out,
+        "AS_TRANS entries dropped:   {}",
+        report.as_trans_dropped
+    );
+    let _ = writeln!(
+        out,
+        "reserved-ASN entries:       {}",
+        report.reserved_dropped
+    );
+    let _ = writeln!(
+        out,
+        "multi-label (ambiguous):    {}",
+        report.ambiguous_found
+    );
+    let _ = writeln!(
+        out,
+        "  dropped by policy:        {}",
+        report.ambiguous_dropped
+    );
+    let _ = writeln!(
+        out,
+        "sibling links dropped:      {}",
+        report.sibling_dropped
+    );
+    let _ = writeln!(
+        out,
+        "S2S-labelled entries:       {}",
+        report.s2s_label_dropped
+    );
     let _ = writeln!(out, "clean links remaining:      {}", report.clean_links);
     out
 }
@@ -273,7 +297,11 @@ pub fn render_hard_links(report: &crate::hardlinks::HardLinkReport) -> String {
 #[must_use]
 pub fn render_feature_errors(rows: &[crate::linkfeatures::FeatureErrorRow]) -> String {
     let mut out = String::from("# Error rate by feature quartile (Appendix C)\n");
-    let _ = writeln!(out, "{:<26} {:<10} {:>8} {:>10}", "feature", "bucket", "links", "error");
+    let _ = writeln!(
+        out,
+        "{:<26} {:<10} {:>8} {:>10}",
+        "feature", "bucket", "links", "error"
+    );
     for r in rows {
         let _ = writeln!(
             out,
@@ -291,7 +319,11 @@ pub fn render_case_study(report: &CaseStudyReport) -> String {
     let _ = writeln!(out, "total target links: {}", report.total_targets);
     let _ = writeln!(out, "per Tier-1:");
     for (asn, n) in &report.per_tier1 {
-        let focus = if *asn == report.focus { "  ← focus" } else { "" };
+        let focus = if *asn == report.focus {
+            "  ← focus"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  {asn}: {n}{focus}");
     }
     let zero_triplets = report
@@ -334,14 +366,20 @@ mod tests {
                 validation: if i % 3 == 0 {
                     Rel::P2p
                 } else {
-                    Rel::P2c { provider: Asn(i + 1) }
+                    Rel::P2c {
+                        provider: Asn(i + 1),
+                    }
                 },
                 inferred: if i % 9 == 0 {
-                    Rel::P2c { provider: Asn(i + 1) }
+                    Rel::P2c {
+                        provider: Asn(i + 1),
+                    }
                 } else if i % 3 == 0 {
                     Rel::P2p
                 } else {
-                    Rel::P2c { provider: Asn(i + 1) }
+                    Rel::P2c {
+                        provider: Asn(i + 1),
+                    }
                 },
             })
             .collect();

@@ -129,9 +129,7 @@ mod tests {
                 let link = Link::new(Asn(1000 + i as u32), Asn(5000 + i as u32)).unwrap();
                 let validation = Rel::P2p;
                 let inferred = if i % wrong_every == 0 {
-                    Rel::P2c {
-                        provider: link.a(),
-                    }
+                    Rel::P2c { provider: link.a() }
                 } else {
                     Rel::P2p
                 };

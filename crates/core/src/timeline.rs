@@ -119,7 +119,11 @@ pub fn render_timeline(points: &[TimelinePoint]) -> String {
         let _ = writeln!(
             out,
             "{:>4} {:>9} {:>11} {:>15.3} {:>12}",
-            p.step, p.drifted_links, p.validated_links, p.base_label_survival, p.cumulative_validated
+            p.step,
+            p.drifted_links,
+            p.validated_links,
+            p.base_label_survival,
+            p.cumulative_validated
         );
     }
     if let (Some(first), Some(last)) = (points.first(), points.last()) {

@@ -18,7 +18,14 @@ fn arb_rel() -> impl Strategy<Value = Rel> {
 
 fn arb_scored(n: usize) -> impl Strategy<Value = Vec<ScoredLink>> {
     prop::collection::vec(
-        (1u32..500, 501u32..1000, arb_rel(), arb_rel(), any::<bool>(), any::<bool>()),
+        (
+            1u32..500,
+            501u32..1000,
+            arb_rel(),
+            arb_rel(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
         0..n,
     )
     .prop_map(|items| {

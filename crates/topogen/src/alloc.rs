@@ -195,8 +195,14 @@ mod tests {
                 got.push(a);
             }
         }
-        assert!(!got.contains(&Asn(23_456)), "AS_TRANS must never be allocated");
-        assert!(!got.contains(&Asn(17_001)), "pre-reserved ASN must be skipped");
+        assert!(
+            !got.contains(&Asn(23_456)),
+            "AS_TRANS must never be allocated"
+        );
+        assert!(
+            !got.contains(&Asn(17_001)),
+            "pre-reserved ASN must be skipped"
+        );
         // All unique.
         let set: BTreeSet<Asn> = got.iter().copied().collect();
         assert_eq!(set.len(), got.len());

@@ -90,10 +90,7 @@ pub fn evolve(topology: &Topology, cfg: &ChurnConfig) -> (Topology, ChurnReport)
             }
         }
     }
-    let reaches = |adj: &std::collections::BTreeMap<Asn, Vec<Asn>>,
-                   from: Asn,
-                   to: Asn|
-     -> bool {
+    let reaches = |adj: &std::collections::BTreeMap<Asn, Vec<Asn>>, from: Asn, to: Asn| -> bool {
         let mut seen: std::collections::BTreeSet<Asn> = Default::default();
         let mut stack = vec![from];
         while let Some(cur) = stack.pop() {
@@ -144,12 +141,18 @@ pub fn evolve(topology: &Topology, cfg: &ChurnConfig) -> (Topology, ChurnReport)
             continue;
         }
         candidates.shuffle(&mut rng);
-        let Some(&new) = candidates.iter().find(|t| !reaches(&customer_adj, customer, **t))
+        let Some(&new) = candidates
+            .iter()
+            .find(|t| !reaches(&customer_adj, customer, **t))
         else {
             continue;
         };
-        let Some(old_link) = Link::new(old, customer) else { continue };
-        let Some(new_link) = Link::new(new, customer) else { continue };
+        let Some(old_link) = Link::new(old, customer) else {
+            continue;
+        };
+        let Some(new_link) = Link::new(new, customer) else {
+            continue;
+        };
         next.links.remove(&old_link);
         next.links
             .insert(new_link, GtRel::simple(Rel::P2c { provider: new }));
@@ -185,7 +188,9 @@ pub fn evolve(topology: &Topology, cfg: &ChurnConfig) -> (Topology, ChurnReport)
         guard += 1;
         let a = transits[rng.random_range(0..transits.len())];
         let b = transits[rng.random_range(0..transits.len())];
-        let Some(link) = Link::new(a, b) else { continue };
+        let Some(link) = Link::new(a, b) else {
+            continue;
+        };
         if next.links.contains_key(&link) {
             continue;
         }
@@ -268,9 +273,9 @@ mod tests {
         let t0 = base();
         let (snapshots, _) = evolve_steps(&t0, &ChurnConfig::default(), 5);
         for (i, t) in snapshots.iter().enumerate() {
-            let g = t.ground_truth_graph().unwrap_or_else(|e| {
-                panic!("snapshot {i}: conflicting links after churn: {e}")
-            });
+            let g = t
+                .ground_truth_graph()
+                .unwrap_or_else(|e| panic!("snapshot {i}: conflicting links after churn: {e}"));
             // DFS cycle check over provider→customer edges.
             let mut state: std::collections::BTreeMap<Asn, u8> = Default::default();
             fn visit(
@@ -344,12 +349,7 @@ mod tests {
         assert_eq!(snapshots.len(), 4);
         assert_eq!(reports.len(), 3);
         // Later snapshots differ from the base more than earlier ones.
-        let diff = |t: &Topology| {
-            t.links
-                .keys()
-                .filter(|l| !t0.links.contains_key(l))
-                .count()
-        };
+        let diff = |t: &Topology| t.links.keys().filter(|l| !t0.links.contains_key(l)).count();
         assert!(diff(&snapshots[3]) >= diff(&snapshots[1]));
     }
 }

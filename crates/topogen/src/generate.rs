@@ -146,8 +146,7 @@ impl<'c> Builder<'c> {
             .map(|_| {
                 self.prefix_counter += 1;
                 // Lay prefixes out as /24s starting at 1.0.0.0.
-                Ipv4Prefix::new(0x0100_0000 + self.prefix_counter * 256, 24)
-                    .expect("24 ≤ 32")
+                Ipv4Prefix::new(0x0100_0000 + self.prefix_counter * 256, 24).expect("24 ≤ 32")
             })
             .collect()
     }
@@ -186,16 +185,16 @@ impl<'c> Builder<'c> {
         fixed_asn: Option<Asn>,
     ) -> Asn {
         // Inter-RIR transfer: the ASN was originally allocated elsewhere.
-        let allocated_region = if fixed_asn.is_none() && self.rng.random_bool(self.cfg.transfer_prob)
-        {
-            let others: Vec<RirRegion> = RirRegion::ALL
-                .into_iter()
-                .filter(|r| *r != region)
-                .collect();
-            others[self.rng.random_range(0..others.len())]
-        } else {
-            region
-        };
+        let allocated_region =
+            if fixed_asn.is_none() && self.rng.random_bool(self.cfg.transfer_prob) {
+                let others: Vec<RirRegion> = RirRegion::ALL
+                    .into_iter()
+                    .filter(|r| *r != region)
+                    .collect();
+                others[self.rng.random_range(0..others.len())]
+            } else {
+                region
+            };
         let asn = match fixed_asn {
             Some(a) => a,
             None => {
@@ -306,13 +305,13 @@ impl<'c> Builder<'c> {
 /// Generates a topology from `cfg`. Deterministic under `cfg.seed`.
 #[must_use]
 pub fn generate(cfg: &TopologyConfig) -> Topology {
+    let _span = breval_obs::span!("generate");
     let mut b = Builder::new(cfg);
 
     // ---- 1. Tier-1 clique ---------------------------------------------------
     let mut tier1: Vec<Asn> = Vec::with_capacity(cfg.n_tier1);
     for i in 0..cfg.n_tier1 {
-        let asn = if i < KNOWN_TIER1.len() {
-            let (num, region) = KNOWN_TIER1[i];
+        let asn = if let Some(&(num, region)) = KNOWN_TIER1.get(i) {
             b.create_as(region, TierClass::Tier1, None, Some(Asn(num)))
         } else {
             let region = if i % 2 == 0 {
@@ -420,8 +419,7 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
     // ---- 3. Hypergiants ---------------------------------------------------------
     let mut hypergiants: Vec<Asn> = Vec::with_capacity(cfg.n_hypergiant);
     for i in 0..cfg.n_hypergiant {
-        let (region, fixed) = if i < KNOWN_HYPERGIANTS.len() {
-            let (num, region) = KNOWN_HYPERGIANTS[i];
+        let (region, fixed) = if let Some(&(num, region)) = KNOWN_HYPERGIANTS.get(i) {
             (region, Some(Asn(num)))
         } else {
             (b.sample_region(), None)
@@ -441,7 +439,9 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
             }
         }
         // Dense peering with transits.
-        let n_tr = b.sample_count(cfg.hypergiant_transit_peers).min(all_transit.len());
+        let n_tr = b
+            .sample_count(cfg.hypergiant_transit_peers)
+            .min(all_transit.len());
         let mut pool = all_transit.clone();
         pool.shuffle(&mut b.rng);
         for peer in pool.into_iter().take(n_tr) {
@@ -494,7 +494,11 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
             } else {
                 transits_by_region.get(&region).cloned().unwrap_or_default()
             };
-            let pool = if pool.is_empty() { all_transit.clone() } else { pool };
+            let pool = if pool.is_empty() {
+                all_transit.clone()
+            } else {
+                pool
+            };
             if let Some(provider) = b.choose_provider(&pool) {
                 b.p2c(provider, asn);
             }
@@ -505,7 +509,9 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
 
     // ---- 5b. Hypergiant–stub peering (stubs exist only now) --------------------------
     for hg in &hypergiants {
-        let k = b.sample_count(cfg.hypergiant_stub_peers).min(all_stubs.len());
+        let k = b
+            .sample_count(cfg.hypergiant_stub_peers)
+            .min(all_stubs.len());
         let mut pool = all_stubs.clone();
         pool.shuffle(&mut b.rng);
         for stub in pool.into_iter().take(k) {
@@ -559,14 +565,12 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
     }
 
     // ---- 7. Partial-transit programs (§6.1 mechanism) -------------------------------
-    let links_snapshot: Vec<(Link, Rel)> = b
-        .links
-        .iter()
-        .map(|(l, r)| (*l, r.base))
-        .collect();
+    let links_snapshot: Vec<(Link, Rel)> = b.links.iter().map(|(l, r)| (*l, r.base)).collect();
     for (link, rel) in &links_snapshot {
         let Rel::P2c { provider } = rel else { continue };
-        let Some(customer) = link.other(*provider) else { continue };
+        let Some(customer) = link.other(*provider) else {
+            continue;
+        };
         let customer_tier = b.ases.get(&customer).map(|i| i.tier);
         let customer_region = b.ases.get(&customer).map(|i| i.region);
         let provider_region = b.ases.get(provider).map(|i| i.region);
@@ -668,7 +672,9 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         false
     };
     loop {
-        let group: Vec<Asn> = (&mut pool).take(2 + (b.rng.random_range(0..3))).collect();
+        let group: Vec<Asn> = (&mut pool)
+            .take(2 + b.rng.random_range(0..3usize))
+            .collect();
         if group.len() < 2 {
             break;
         }
@@ -747,10 +753,7 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
             let n_providers = provider_counts.get(&asn).copied().unwrap_or(0);
             let te = (0..n_prefixes)
                 .map(|_| {
-                    if n_providers >= 2
-                        && n_prefixes >= 2
-                        && b.rng.random_bool(cfg.te_pin_prob)
-                    {
+                    if n_providers >= 2 && n_prefixes >= 2 && b.rng.random_bool(cfg.te_pin_prob) {
                         Some(b.rng.random_range(0..n_providers) as u8)
                     } else {
                         None
@@ -796,7 +799,9 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
             continue;
         }
         // Collectors attract big networks: preferential attachment again.
-        let Some(asn) = b.choose_provider(&pool) else { continue };
+        let Some(asn) = b.choose_provider(&pool) else {
+            continue;
+        };
         if !vp_set.insert(asn) {
             continue;
         }
@@ -808,6 +813,9 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         });
     }
 
+    breval_obs::counter("topology_ases", b.ases.len() as u64);
+    breval_obs::counter("topology_links", b.links.len() as u64);
+    breval_obs::counter("topology_collector_peers", collector_peers.len() as u64);
     Topology {
         ases: b.ases,
         links: b.links,
@@ -873,11 +881,7 @@ mod tests {
         let graph = t.ground_truth_graph().unwrap();
         // DFS over provider→customer edges looking for a cycle.
         let mut state: BTreeMap<Asn, u8> = BTreeMap::new(); // 1=open, 2=done
-        fn visit(
-            g: &asgraph::AsGraph,
-            a: Asn,
-            state: &mut BTreeMap<Asn, u8>,
-        ) -> bool {
+        fn visit(g: &asgraph::AsGraph, a: Asn, state: &mut BTreeMap<Asn, u8>) -> bool {
             match state.get(&a) {
                 Some(1) => return false, // cycle
                 Some(2) => return true,
@@ -917,17 +921,16 @@ mod tests {
     #[test]
     fn cogent_runs_partial_transit() {
         let t = small();
-        let partial: Vec<_> = t
-            .links
-            .iter()
-            .filter(|(_, r)| r.partial_transit)
-            .collect();
+        let partial: Vec<_> = t.links.iter().filter(|(_, r)| r.partial_transit).collect();
         assert!(!partial.is_empty(), "no partial-transit links generated");
         let cogent_partial = partial
             .iter()
             .filter(|(l, r)| r.base.provider() == Some(t.cogent) && l.contains(t.cogent))
             .count();
-        assert!(cogent_partial > 0, "cogent has no partial-transit customers");
+        assert!(
+            cogent_partial > 0,
+            "cogent has no partial-transit customers"
+        );
     }
 
     #[test]
@@ -949,7 +952,10 @@ mod tests {
                 }
             }
         }
-        assert!(peered >= special.len(), "special stubs should peer with T1s");
+        assert!(
+            peered >= special.len(),
+            "special stubs should peer with T1s"
+        );
     }
 
     #[test]
@@ -966,8 +972,8 @@ mod tests {
             .filter(|i| i.region == RirRegion::Arin)
             .collect();
         assert!(lacnic.len() > 50);
-        let l_pub = lacnic.iter().filter(|i| i.publishes_communities).count() as f64
-            / lacnic.len() as f64;
+        let l_pub =
+            lacnic.iter().filter(|i| i.publishes_communities).count() as f64 / lacnic.len() as f64;
         let ar_pub =
             arin.iter().filter(|i| i.publishes_communities).count() as f64 / arin.len() as f64;
         assert!(
@@ -1044,11 +1050,7 @@ mod tests {
             hybrid_link_share: 0.05,
             ..TopologyConfig::small(42)
         });
-        let hybrid = t
-            .links
-            .values()
-            .filter(|r| r.hybrid_alt.is_some())
-            .count();
+        let hybrid = t.links.values().filter(|r| r.hybrid_alt.is_some()).count();
         assert!(hybrid > 0);
         assert!(t.complex_links().len() >= hybrid);
     }

@@ -1,6 +1,6 @@
 //! The generated topology model.
 
-use asgraph::{Asn, AsGraph, GtRel, Link};
+use asgraph::{AsGraph, Asn, GtRel, Link};
 use asregistry::{
     delegation::{DelegationFile, DelegationRecord, DelegationStatus},
     org::{As2Org, OrgId},

@@ -8,14 +8,14 @@ use topogen::{generate, ChurnConfig, TopologyConfig};
 fn arb_config() -> impl Strategy<Value = TopologyConfig> {
     (
         any::<u64>(),
-        4usize..10,   // tier1
-        60usize..160, // transit
+        4usize..10,    // tier1
+        60usize..160,  // transit
         200usize..500, // stub
-        0usize..6,    // hypergiants
-        0usize..8,    // special stubs
-        0.0f64..0.5,  // cogent partial share
-        0.0f64..0.1,  // hybrid share
-        0.0f64..0.08, // sibling share
+        0usize..6,     // hypergiants
+        0usize..8,     // special stubs
+        0.0f64..0.5,   // cogent partial share
+        0.0f64..0.1,   // hybrid share
+        0.0f64..0.08,  // sibling share
     )
         .prop_map(
             |(seed, t1, tr, st, hg, sp, partial, hybrid, siblings)| TopologyConfig {
@@ -105,7 +105,7 @@ proptest! {
         }
 
         // Partial-transit share only applies to P2C links.
-        for (_, rel) in &topo.links {
+        for rel in topo.links.values() {
             if rel.partial_transit {
                 prop_assert_eq!(rel.base.class(), RelClass::P2c);
             }

@@ -49,8 +49,10 @@ pub fn compile_communities(
     let stale_dicts: BTreeSet<Asn> = publishers
         .iter()
         .copied()
-        .filter(|p| det_hash(cfg.seed ^ 0x5741, u64::from(p.0), 0) % 10_000
-            < (cfg.stale_dict_prob * 10_000.0) as u64)
+        .filter(|p| {
+            det_hash(cfg.seed ^ 0x5741, u64::from(p.0), 0) % 10_000
+                < (cfg.stale_dict_prob * 10_000.0) as u64
+        })
         .collect();
 
     let two_byte_vps: BTreeSet<Asn> = snapshot
@@ -92,7 +94,9 @@ pub fn compile_communities(
                 AnyCommunity::Classic(c) => u32::from(c.value),
                 AnyCommunity::Large(lc) => lc.local2,
             };
-            let Ok(value16) = u16::try_from(value) else { continue };
+            let Ok(value16) = u16::try_from(value) else {
+                continue;
+            };
             // The 3356:666 ambiguity (§3.2): value 666 doubles as the
             // informal blackhole convention. A conservative pipeline skips
             // it even when the dictionary defines it.
@@ -148,9 +152,13 @@ pub fn compile_communities(
     let mut injected = 0usize;
     while injected < cfg.reserved_leak_count && !publisher_vec.is_empty() {
         let tagger = publisher_vec[rng.random_range(0..publisher_vec.len())];
-        let private = Asn(64_512 + rng.random_range(0..1_000));
+        let private = Asn(64_512 + rng.random_range(0..1_000u32));
         if let Some(link) = Link::new(tagger, private) {
-            set.add(link, Rel::P2c { provider: tagger }, LabelSource::Communities);
+            set.add(
+                link,
+                Rel::P2c { provider: tagger },
+                LabelSource::Communities,
+            );
             injected += 1;
         }
     }
@@ -182,7 +190,10 @@ pub fn label_census(topology: &Topology, set: &ValidationSet) -> BTreeMap<&'stat
     let org = topology.as2org();
     out.insert(
         "sibling_links",
-        set.entries.keys().filter(|l| org.is_sibling_link(**l)).count(),
+        set.entries
+            .keys()
+            .filter(|l| org.is_sibling_link(**l))
+            .count(),
     );
     out
 }
@@ -213,7 +224,9 @@ mod tests {
         let mut correct = 0usize;
         let mut total = 0usize;
         for (link, records) in &set.entries {
-            let Some(gt) = topo.gt_rel(*link) else { continue };
+            let Some(gt) = topo.gt_rel(*link) else {
+                continue;
+            };
             for r in records {
                 total += 1;
                 if gt.observable_labels().contains(&r.rel) {

@@ -44,9 +44,11 @@ pub fn compile_all(
     snapshot: &bgpsim::RibSnapshot,
     cfg: &ValDataConfig,
 ) -> ValidationSet {
+    let _span = breval_obs::span!("compile_validation");
     let mut set = compile_communities(topology, snapshot, cfg);
     let rpsl_objects = rpsl::generate_autnums(topology, cfg);
     set.merge(rpsl::labels_from_autnums(&rpsl_objects, cfg));
     set.merge(direct_reports(topology, cfg));
+    breval_obs::counter("validation_labels_compiled", set.len() as u64);
     set
 }

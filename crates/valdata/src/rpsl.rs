@@ -48,7 +48,11 @@ impl AutNum {
         let _ = writeln!(out, "aut-num:    AS{}", self.asn.0);
         let _ = writeln!(out, "as-name:    AS{}-NET", self.asn.0);
         let _ = writeln!(out, "mnt-by:     {}", self.mntner);
-        let _ = writeln!(out, "changed:    noc@as{}.example {}", self.asn.0, self.changed);
+        let _ = writeln!(
+            out,
+            "changed:    noc@as{}.example {}",
+            self.asn.0, self.changed
+        );
         for p in &self.policies {
             let n = p.neighbor.0;
             match p.rel {
@@ -142,7 +146,9 @@ impl AutNum {
                 .unwrap_or(false);
             let rel = match (accept_any, announce_any) {
                 (true, true) => Rel::S2s,
-                (true, false) => Rel::P2c { provider: *neighbor },
+                (true, false) => Rel::P2c {
+                    provider: *neighbor,
+                },
                 (false, true) => Rel::P2c { provider: asn },
                 (false, false) => Rel::P2p,
             };
@@ -287,7 +293,9 @@ mod tests {
         let mut total = 0;
         let mut correct = 0;
         for (link, records) in &labels.entries {
-            let Some(gt) = topo.gt_rel(*link) else { continue };
+            let Some(gt) = topo.gt_rel(*link) else {
+                continue;
+            };
             for r in records {
                 total += 1;
                 if r.rel == gt.base {
@@ -310,7 +318,9 @@ mod tests {
         let labels = labels_from_autnums(&generate_autnums(&topo, &cfg), &cfg);
         let mut wrong = 0;
         for (link, records) in &labels.entries {
-            let Some(gt) = topo.gt_rel(*link) else { continue };
+            let Some(gt) = topo.gt_rel(*link) else {
+                continue;
+            };
             wrong += records.iter().filter(|r| r.rel != gt.base).count();
         }
         assert!(wrong > 50, "expected many stale labels, got {wrong}");

@@ -143,7 +143,9 @@ impl ValidationSet {
     /// `a|b|rel|source` with `rel ∈ {-1 = a provider, 1 = b provider, 0 = p2p, 2 = s2s}`.
     #[must_use]
     pub fn to_text(&self) -> String {
-        let mut out = String::from("# a|b|rel|source  (-1: a provider of b, 1: b provider of a, 0: p2p, 2: s2s)\n");
+        let mut out = String::from(
+            "# a|b|rel|source  (-1: a provider of b, 1: b provider of a, 0: p2p, 2: s2s)\n",
+        );
         for (link, records) in &self.entries {
             for r in records {
                 let code = match r.rel {
@@ -177,8 +179,12 @@ impl ValidationSet {
             if fields.len() != 4 {
                 return Err(format!("line {}: expected 4 fields", i + 1));
             }
-            let a: u32 = fields[0].parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
-            let b: u32 = fields[1].parse().map_err(|_| format!("line {}: bad ASN", i + 1))?;
+            let a: u32 = fields[0]
+                .parse()
+                .map_err(|_| format!("line {}: bad ASN", i + 1))?;
+            let b: u32 = fields[1]
+                .parse()
+                .map_err(|_| format!("line {}: bad ASN", i + 1))?;
             let link = Link::new(Asn(a), Asn(b)).ok_or(format!("line {}: self loop", i + 1))?;
             let rel = match fields[2] {
                 "-1" => Rel::P2c { provider: link.a() },
@@ -187,8 +193,8 @@ impl ValidationSet {
                 "2" => Rel::S2s,
                 other => return Err(format!("line {}: bad rel {other:?}", i + 1)),
             };
-            let source = LabelSource::parse(fields[3])
-                .ok_or(format!("line {}: bad source", i + 1))?;
+            let source =
+                LabelSource::parse(fields[3]).ok_or(format!("line {}: bad source", i + 1))?;
             out.add(link, rel, source);
         }
         Ok(out)
@@ -211,14 +217,21 @@ mod tests {
         assert_eq!(v.labels(link(1, 2)).len(), 1);
         v.add(link(1, 2), Rel::P2p, LabelSource::Rpsl);
         assert_eq!(v.labels(link(1, 2)).len(), 2);
-        assert!(v.multi_label_links().is_empty(), "same rel twice ≠ ambiguous");
+        assert!(
+            v.multi_label_links().is_empty(),
+            "same rel twice ≠ ambiguous"
+        );
     }
 
     #[test]
     fn multi_label_detection() {
         let mut v = ValidationSet::new();
         v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
-        v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Communities);
+        v.add(
+            link(1, 2),
+            Rel::P2c { provider: Asn(1) },
+            LabelSource::Communities,
+        );
         v.add(link(3, 4), Rel::P2p, LabelSource::Communities);
         assert_eq!(v.multi_label_links(), vec![link(1, 2)]);
     }
@@ -236,9 +249,17 @@ mod tests {
     #[test]
     fn text_roundtrip() {
         let mut v = ValidationSet::new();
-        v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Communities);
+        v.add(
+            link(1, 2),
+            Rel::P2c { provider: Asn(1) },
+            LabelSource::Communities,
+        );
         v.add(link(1, 2), Rel::P2p, LabelSource::Rpsl);
-        v.add(link(5, 9), Rel::P2c { provider: Asn(9) }, LabelSource::DirectReport);
+        v.add(
+            link(5, 9),
+            Rel::P2c { provider: Asn(9) },
+            LabelSource::DirectReport,
+        );
         v.add(link(5, 7), Rel::S2s, LabelSource::Rpsl);
         let parsed = ValidationSet::parse(&v.to_text()).unwrap();
         assert_eq!(v, parsed);
@@ -251,7 +272,9 @@ mod tests {
         assert!(ValidationSet::parse("1|1|0|communities\n").is_err());
         assert!(ValidationSet::parse("a|2|0|communities\n").is_err());
         assert!(ValidationSet::parse("1|2|0|psychic\n").is_err());
-        assert!(ValidationSet::parse("# only comments\n").unwrap().is_empty());
+        assert!(ValidationSet::parse("# only comments\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -259,7 +282,11 @@ mod tests {
         let mut v = ValidationSet::new();
         v.add(link(1, 2), Rel::P2p, LabelSource::Communities);
         v.add(link(1, 2), Rel::P2c { provider: Asn(1) }, LabelSource::Rpsl);
-        v.add(link(3, 4), Rel::P2c { provider: Asn(3) }, LabelSource::Communities);
+        v.add(
+            link(3, 4),
+            Rel::P2c { provider: Asn(3) },
+            LabelSource::Communities,
+        );
         let counts = v.class_counts();
         assert_eq!(counts[&RelClass::P2p], 1);
         assert_eq!(counts[&RelClass::P2c], 1);

@@ -50,4 +50,6 @@ fn main() {
             100.0 * l.coverage
         );
     }
+
+    breval::obs::write_run_manifest("bias_report", scenario.config.topology.seed);
 }

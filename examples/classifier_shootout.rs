@@ -34,8 +34,13 @@ fn main() {
         let total = table.total.p2p.ppv();
         let t1tr = table.rows.get("T1-TR").map(|e| e.p2p.ppv());
         match t1tr {
-            Some(v) => println!("  {name:<10} total {total:.3} → T1-TR {v:.3} (Δ {:+.3})", v - total),
+            Some(v) => println!(
+                "  {name:<10} total {total:.3} → T1-TR {v:.3} (Δ {:+.3})",
+                v - total
+            ),
             None => println!("  {name:<10} total {total:.3} → T1-TR class below row threshold"),
         }
     }
+
+    breval::obs::write_run_manifest("classifier_shootout", scenario.config.topology.seed);
 }

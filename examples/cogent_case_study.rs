@@ -66,4 +66,6 @@ fn main() {
             println!("(the …:990 tag is the partial-transit scoped-export request)");
         }
     }
+
+    breval::obs::write_run_manifest("cogent_case_study", scenario.config.topology.seed);
 }

@@ -27,7 +27,10 @@ fn main() {
     println!("UPDATE encoded for a 16-bit peer: {} bytes", bytes.len());
     let mut slice = &bytes[..];
     let decoded = UpdateMessage::decode(&mut slice, AsnEncoding::TwoByte).expect("decodes");
-    println!("  legacy AS_PATH view: {:?}", decoded.as_path_legacy().unwrap());
+    println!(
+        "  legacy AS_PATH view: {:?}",
+        decoded.as_path_legacy().unwrap()
+    );
     println!("  AS4-reconstructed:   {:?}", decoded.as_path().unwrap());
 
     // --- full RIB dump --------------------------------------------------------
@@ -59,4 +62,6 @@ fn main() {
         "\nEvery legacy AS_TRANS path is a potential spurious validation label —\n\
          the paper found 15 such relationships in the 2018 validation data (§4.2)."
     );
+
+    breval::obs::write_run_manifest("mrt_roundtrip", 7);
 }

@@ -39,7 +39,9 @@ fn main() {
     let mut correct = 0usize;
     let mut total = 0usize;
     for (link, rel) in &inference.rels {
-        let Some(gt) = topology.gt_rel(*link) else { continue };
+        let Some(gt) = topology.gt_rel(*link) else {
+            continue;
+        };
         if gt.base.class() == RelClass::S2s {
             continue;
         }
@@ -56,7 +58,9 @@ fn main() {
     // 5. Peek at a disagreement — usually a partial-transit or special-stub
     //    link (the paper's §6 failure classes).
     for (link, rel) in &inference.rels {
-        let Some(gt) = topology.gt_rel(*link) else { continue };
+        let Some(gt) = topology.gt_rel(*link) else {
+            continue;
+        };
         if gt.base.class() != RelClass::S2s && gt.base != *rel {
             println!(
                 "example disagreement on {link}: inferred {rel}, ground truth {} (partial transit: {})",
@@ -65,4 +69,6 @@ fn main() {
             break;
         }
     }
+
+    breval::obs::write_run_manifest("quickstart", 42);
 }

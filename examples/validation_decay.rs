@@ -38,4 +38,6 @@ fn main() {
          since changed); the §7 re-sampling opportunity is the cumulative\n\
          column (unique links validated by the union of snapshots)."
     );
+
+    breval::obs::write_run_manifest("validation_decay", 2018);
 }

@@ -15,6 +15,8 @@
 //! * [`valdata`] — community/RPSL/direct-report validation compilation.
 //! * [`analysis`] (= `breval-core`) — the paper's bias & correctness
 //!   analyses, scenario pipeline and report rendering.
+//! * [`obs`] (= `breval-obs`) — span timers, metrics, and run manifests
+//!   (enabled via the `BREVAL_OBS` environment variable).
 //!
 //! ## Quickstart
 //!
@@ -35,5 +37,6 @@ pub use asregistry;
 pub use bgpsim;
 pub use bgpwire;
 pub use breval_core as analysis;
+pub use breval_obs as obs;
 pub use topogen;
 pub use valdata;

@@ -27,3 +27,27 @@ fn different_seed_different_world() {
     let b = Scenario::run(ScenarioConfig::small(8));
     assert_ne!(a.inferred_links, b.inferred_links);
 }
+
+/// Observability must be a pure observer: enabling it may not perturb any
+/// analysis output. Same seed, obs off vs on → byte-identical figure and
+/// evaluation-table JSON.
+#[test]
+fn observability_does_not_change_outputs() {
+    breval::obs::set_enabled(false);
+    let off = Scenario::run(ScenarioConfig::small(11));
+    let off_fig1 = serde_json::to_string(&off.fig1()).unwrap();
+    let off_table = serde_json::to_string(&off.eval_table("asrank")).unwrap();
+
+    breval::obs::set_enabled(true);
+    breval::obs::reset();
+    let on = Scenario::run(ScenarioConfig::small(11));
+    let on_fig1 = serde_json::to_string(&on.fig1()).unwrap();
+    let on_table = serde_json::to_string(&on.eval_table("asrank")).unwrap();
+    breval::obs::set_enabled(false);
+
+    assert_eq!(off_fig1, on_fig1, "fig1 JSON must not depend on BREVAL_OBS");
+    assert_eq!(
+        off_table, on_table,
+        "eval_table JSON must not depend on BREVAL_OBS"
+    );
+}

@@ -1,0 +1,108 @@
+//! Integration test for the observability layer: a small scenario run must
+//! produce a manifest covering every pipeline stage, with wall-clock time
+//! recorded and artifact counts that match the `Scenario`'s own fields.
+//!
+//! Observability state is process-global, so this file keeps everything in
+//! a single test function.
+
+use breval::analysis::{Scenario, ScenarioConfig};
+use breval::obs;
+
+#[test]
+fn small_scenario_manifest_covers_all_stages() {
+    obs::set_enabled(true);
+    obs::reset();
+    let scenario = Scenario::run(ScenarioConfig::small(99));
+
+    // Exercise the cached join: repeated eval_table/scored_in_class calls
+    // must compute the underlying join once per classifier.
+    let table_a = scenario.eval_table("asrank");
+    let table_b = scenario.eval_table("asrank");
+    assert_eq!(
+        serde_json::to_string(&table_a).unwrap(),
+        serde_json::to_string(&table_b).unwrap()
+    );
+    let _ = scenario.scored_in_class("asrank", "TR°");
+    let _ = scenario.scored_in_class("asrank", "S-TR");
+    let _ = scenario.eval_table("problink");
+    assert_eq!(
+        obs::counter_value("scored_join_computed"),
+        2,
+        "join must run once per classifier (asrank, problink)"
+    );
+
+    let manifest = obs::RunManifest::capture("integration", 99);
+    obs::set_enabled(false);
+
+    let expected_stages = [
+        "scenario_run",
+        "scenario_run/generate",
+        "scenario_run/simulate",
+        "scenario_run/to_pathset",
+        "scenario_run/sanitize",
+        "scenario_run/path_stats",
+        "scenario_run/infer_asrank",
+        "scenario_run/infer_problink",
+        "scenario_run/infer_toposcope",
+        "scenario_run/compile_validation",
+        "scenario_run/clean_validation",
+        "scenario_run/link_classifier",
+    ];
+    for name in expected_stages {
+        let stage = manifest
+            .stages
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("stage {name} missing from manifest"));
+        assert!(stage.calls >= 1, "stage {name} has no calls");
+        assert!(stage.wall_ms > 0.0, "stage {name} has zero duration");
+    }
+    assert!(manifest.stages.len() >= 8);
+
+    // Artifact counts line up with the scenario's own fields.
+    assert_eq!(
+        manifest.counters["links_inferred"],
+        scenario.inferred_links.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["validation_labels_compiled"],
+        scenario.validation_raw.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["validation_labels_cleaned"],
+        scenario.validation.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["rels_assigned.asrank"],
+        scenario.inference("asrank").unwrap().rels.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["rels_assigned.problink"],
+        scenario.inference("problink").unwrap().rels.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["rels_assigned.toposcope"],
+        scenario.inference("toposcope").unwrap().rels.len() as u64
+    );
+    assert_eq!(
+        manifest.counters["route_observations"],
+        scenario.snapshot.observations.len() as u64
+    );
+
+    // The per-stage attribution agrees with the global totals.
+    let asrank_stage = manifest
+        .stages
+        .iter()
+        .find(|s| s.name == "scenario_run/infer_asrank")
+        .unwrap();
+    assert_eq!(
+        asrank_stage.counters["rels_assigned.asrank"],
+        manifest.counters["rels_assigned.asrank"]
+    );
+
+    // The manifest serializes to JSON and renders a table.
+    let json = manifest.to_json();
+    assert!(json.contains("scenario_run/infer_asrank"));
+    let table = manifest.render_table();
+    assert!(table.contains("scenario_run/clean_validation"));
+}

@@ -67,8 +67,14 @@ fn fig2_validation_concentrates_on_tier1_classes() {
     assert!(s_tr_share + tr_share > 0.6);
     assert!(s_tr_cov < 0.35 && tr_cov < 0.4);
     // Tier-1-incident classes are heavily validated.
-    assert!(s_t1_cov > 2.0 * s_tr_cov, "S-T1 {s_t1_cov:.2} vs S-TR {s_tr_cov:.2}");
-    assert!(t1_tr_cov > 2.0 * tr_cov, "T1-TR {t1_tr_cov:.2} vs TR° {tr_cov:.2}");
+    assert!(
+        s_t1_cov > 2.0 * s_tr_cov,
+        "S-T1 {s_t1_cov:.2} vs S-TR {s_tr_cov:.2}"
+    );
+    assert!(
+        t1_tr_cov > 2.0 * tr_cov,
+        "T1-TR {t1_tr_cov:.2} vs TR° {tr_cov:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,88 @@
+//! Offline vendored stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is used in the workspace; it is reimplemented over
+//! `std::thread::scope` (stable since Rust 1.63). API matches crossbeam
+//! 0.8: the closure receives a scope handle whose `spawn` passes the scope
+//! again to the spawned closure, and `join` returns `std::thread::Result`.
+//!
+//! Behavioural difference: a panicking worker propagates the panic when
+//! joined instead of surfacing it through the outer `Result` — the
+//! workspace immediately `expect`s both layers, so the observable effect
+//! (abort with the worker's panic message) is the same.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// A scope handle allowing borrowing spawns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle (so
+    /// workers may spawn more workers), like crossbeam's API.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before this returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u32, 2, 3, 4];
+        let total: u32 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n = scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

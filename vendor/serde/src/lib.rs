@@ -1,0 +1,254 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, API-compatible subset of serde sufficient for the codebase:
+//!
+//! * `#[derive(Serialize, Deserialize)]` (via the sibling `serde_derive`
+//!   proc-macro crate, re-exported below exactly like the real crate does
+//!   under its `derive` feature);
+//! * [`Serialize`] implementations for the std types the workspace
+//!   serializes (integers, floats, strings, tuples, options, sequences,
+//!   maps, sets, references, smart pointers);
+//! * a trivial [`Deserialize`] trait whose derived impls return an error —
+//!   nothing in the workspace deserializes at runtime, but the derives must
+//!   compile.
+//!
+//! Instead of the real serde's visitor/serializer machinery, serialization
+//! funnels through the [`Content`] tree, which `serde_json` (also vendored)
+//! renders to JSON. This keeps the derive macro and the data format crate
+//! tiny while preserving call-site compatibility (`serde_json::to_string`,
+//! derive attributes, trait bounds like `T: Serialize`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the vendored stand-in for serde's data model.
+///
+/// External tagging matches real serde: unit enum variants serialize as
+/// their name, data-bearing variants as a one-entry map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered key→value map (keys serialize to JSON object keys).
+    Map(Vec<(Content, Content)>),
+}
+
+/// A type that can be serialized (into a [`Content`] tree).
+pub trait Serialize {
+    /// Collects `self` into the vendored data model.
+    fn collect(&self) -> Content;
+}
+
+/// Error support for the (unused at runtime) deserialization half.
+pub mod de {
+    /// Minimal counterpart of `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Minimal counterpart of `serde::Deserializer`.
+pub trait Deserializer<'de>: Sized {
+    /// The error type produced on failure.
+    type Error: de::Error;
+}
+
+/// A type that can (nominally) be deserialized. The vendored derive
+/// generates impls that always error; nothing in the workspace calls them.
+pub trait Deserialize<'de>: Sized {
+    /// Attempts to deserialize `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn collect(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn collect(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn collect(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn collect(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+impl Serialize for bool {
+    fn collect(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn collect(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl Serialize for str {
+    fn collect(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+impl Serialize for String {
+    fn collect(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl Serialize for () {
+    fn collect(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+impl<T: Serialize + ToOwned + ?Sized> Serialize for std::borrow::Cow<'_, T> {
+    fn collect(&self) -> Content {
+        (**self).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn collect(&self) -> Content {
+        match self {
+            Some(v) => v.collect(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn collect(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::collect).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn collect(&self) -> Content {
+        self.as_slice().collect()
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn collect(&self) -> Content {
+        self.as_slice().collect()
+    }
+}
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn collect(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::collect).collect())
+    }
+}
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn collect(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::collect).collect())
+    }
+}
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn collect(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::collect).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn collect(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.collect(), v.collect()))
+                .collect(),
+        )
+    }
+}
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn collect(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.collect(), v.collect()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn collect(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.collect()),+])
+            }
+        }
+    };
+}
+
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl Serialize for std::time::Duration {
+    fn collect(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("secs".to_owned()),
+                Content::U64(self.as_secs()),
+            ),
+            (
+                Content::Str("nanos".to_owned()),
+                Content::U64(u64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}

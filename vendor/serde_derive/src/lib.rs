@@ -1,0 +1,330 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stand-in. Parses the item's token stream directly (no `syn`/`quote`,
+//! which are unavailable offline) and emits impls as source text.
+//!
+//! Supported shapes — everything the workspace derives on:
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently, like
+//!   real serde),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default).
+//!
+//! Container/field `#[serde(...)]` attributes are accepted and ignored;
+//! the only one used in the workspace is `#[serde(transparent)]` on a
+//! newtype, whose behaviour matches the untagged newtype default here.
+//!
+//! Generic type parameters are not supported (nothing in the workspace
+//! derives serde traits on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// Number of tuple fields.
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Splits a token list on top-level commas, treating `<`/`>` as nesting
+/// (grouped delimiters are already nested by the tokenizer).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field declaration
+/// (`#[attr]* pub? name: Type`).
+fn named_field(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            // Attribute: `#` followed by a bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional `(crate)` / `(super)` restriction.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => {
+                if matches!(tokens.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    return Some(id.to_string());
+                }
+                return None;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_named_fields(group_tokens: Vec<TokenTree>) -> Vec<String> {
+    split_top_level(&group_tokens)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .filter_map(|seg| named_field(seg))
+        .collect()
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Option<Variant> {
+    let mut i = 0;
+    // Skip attributes (doc comments arrive as `#[doc = ...]`).
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return None,
+    };
+    let fields = match tokens.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(
+                split_top_level(&inner)
+                    .iter()
+                    .filter(|seg| !seg.is_empty())
+                    .count(),
+            )
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream().into_iter().collect()))
+        }
+        _ => Fields::Unit,
+    };
+    Some(Variant { name, fields })
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream().into_iter().collect()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(
+                        split_top_level(&inner)
+                            .iter()
+                            .filter(|seg| !seg.is_empty())
+                            .count(),
+                    )
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            let variants = split_top_level(&body)
+                .iter()
+                .filter(|seg| !seg.is_empty())
+                .filter_map(|seg| parse_variant(seg))
+                .collect();
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn serialize_body(item: &Item) -> String {
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => "::serde::Content::Null".to_owned(),
+            // Newtype structs serialize transparently (real serde default);
+            // wider tuple structs serialize as sequences.
+            Fields::Tuple(1) => "::serde::Serialize::collect(&self.0)".to_owned(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::collect(&self.{i})"))
+                    .collect();
+                format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+            }
+            Fields::Named(names) => {
+                let entries: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::serde::Content::Str(\"{f}\".to_owned()), \
+                             ::serde::Serialize::collect(&self.{f}))"
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+            }
+        },
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push(format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_owned()),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let value = if *n == 1 {
+                            "::serde::Serialize::collect(f0)".to_owned()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::collect({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(\"{vn}\".to_owned()), {value})]),",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::serde::Content::Str(\"{f}\".to_owned()), \
+                                     ::serde::Serialize::collect({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                             (::serde::Content::Str(\"{vn}\".to_owned()), \
+                             ::serde::Content::Map(vec![{entries}]))]),",
+                            entries = entries.join(", "),
+                        ));
+                    }
+                }
+            }
+            if variants.is_empty() {
+                "match *self {}".to_owned()
+            } else {
+                format!("match self {{ {} }}", arms.join(" "))
+            }
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored Content-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    let body = serialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn collect(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+/// Derives `serde::Deserialize`: a compile-only stub (nothing in the
+/// workspace deserializes at runtime).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return error(&msg),
+    };
+    let name = match &item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name.clone(),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {{\n\
+                 Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"vendored serde: Deserialize is a compile-only stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl must parse")
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid")
+}

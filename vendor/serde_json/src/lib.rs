@@ -1,0 +1,189 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Renders the vendored serde [`Content`](serde::Content) tree to JSON text.
+//! Supports the workspace's call sites: [`to_string`] and
+//! [`to_string_pretty`] (2-space indent, matching real serde_json's pretty
+//! printer). Non-string map keys are stringified like real serde_json does
+//! for integer keys; non-scalar keys are an error. Non-finite floats render
+//! as `null` (real serde_json behaviour).
+
+#![forbid(unsafe_code)]
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// Serialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.collect(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.collect(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as JSON into an `io::Write`.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(mut writer: W, value: &T) -> Result<()> {
+    let s = to_string(value)?;
+    writer
+        .write_all(s.as_bytes())
+        .map_err(|e| Error(e.to_string()))
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a map key: strings verbatim, scalars stringified (like real
+/// serde_json's integer-key support).
+fn write_key(key: &Content, out: &mut String) -> Result<()> {
+    match key {
+        Content::Str(s) => write_escaped(s, out),
+        Content::U64(n) => write_escaped(&n.to_string(), out),
+        Content::I64(n) => write_escaped(&n.to_string(), out),
+        Content::Bool(b) => write_escaped(&b.to_string(), out),
+        Content::F64(x) => write_escaped(&format!("{x:?}"), out),
+        Content::Null | Content::Seq(_) | Content::Map(_) => {
+            return Err(Error("map key must be a scalar".to_owned()));
+        }
+    }
+    Ok(())
+}
+
+fn indent(out: &mut String, indent_width: Option<usize>, level: usize) {
+    if let Some(w) = indent_width {
+        out.push('\n');
+        for _ in 0..w * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_content(
+    value: &Content,
+    out: &mut String,
+    pretty: Option<usize>,
+    level: usize,
+) -> Result<()> {
+    match value {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` keeps a decimal point on integral floats (`1.0`),
+                // matching serde_json's ryu output closely enough.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_escaped(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                indent(out, pretty, level + 1);
+                write_content(item, out, pretty, level + 1)?;
+            }
+            indent(out, pretty, level);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                indent(out, pretty, level + 1);
+                write_key(k, out)?;
+                out.push(':');
+                if pretty.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, pretty, level + 1)?;
+            }
+            indent(out, pretty, level);
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_and_composites() {
+        assert_eq!(to_string(&1u32).unwrap(), "1");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string("a\"b\n").unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(to_string(&vec![1u8, 2]).unwrap(), "[1,2]");
+        assert_eq!(to_string(&(1u8, "x")).unwrap(), "[1,\"x\"]");
+        assert_eq!(to_string(&Option::<u8>::None).unwrap(), "null");
+        let mut m = BTreeMap::new();
+        m.insert("k".to_owned(), 7u64);
+        assert_eq!(to_string(&m).unwrap(), "{\"k\":7}");
+    }
+
+    #[test]
+    fn pretty_indents_two_spaces() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), vec![1u8]);
+        assert_eq!(
+            to_string_pretty(&m).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+}
