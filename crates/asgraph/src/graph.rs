@@ -221,7 +221,7 @@ mod tests {
     use super::*;
 
     fn l(a: u32, b: u32) -> Link {
-        Link::new(Asn(a), Asn(b)).unwrap()
+        Link::new(Asn(a), Asn(b)).expect("distinct endpoints")
     }
 
     fn p2c(provider: u32) -> Rel {
@@ -233,10 +233,12 @@ mod tests {
     #[test]
     fn roles_and_views() {
         let mut g = AsGraph::new();
-        g.add_rel(l(1, 2), p2c(1)).unwrap(); // 1 provides to 2
-        g.add_rel(l(2, 3), p2c(2)).unwrap(); // 2 provides to 3
-        g.add_rel(l(2, 4), Rel::P2p).unwrap();
-        g.add_rel(l(2, 5), Rel::S2s).unwrap();
+        g.add_rel(l(1, 2), p2c(1)).expect("fresh link accepts rel"); // 1 provides to 2
+        g.add_rel(l(2, 3), p2c(2)).expect("fresh link accepts rel"); // 2 provides to 3
+        g.add_rel(l(2, 4), Rel::P2p)
+            .expect("fresh link accepts rel");
+        g.add_rel(l(2, 5), Rel::S2s)
+            .expect("fresh link accepts rel");
 
         assert_eq!(g.providers(Asn(2)), vec![Asn(1)]);
         assert_eq!(g.customers(Asn(2)), vec![Asn(3)]);
@@ -253,15 +255,18 @@ mod tests {
     #[test]
     fn duplicate_same_rel_is_noop() {
         let mut g = AsGraph::new();
-        g.add_rel(l(1, 2), Rel::P2p).unwrap();
-        g.add_rel(l(1, 2), Rel::P2p).unwrap();
+        g.add_rel(l(1, 2), Rel::P2p)
+            .expect("fresh link accepts rel");
+        g.add_rel(l(1, 2), Rel::P2p)
+            .expect("fresh link accepts rel");
         assert_eq!(g.link_count(), 1);
     }
 
     #[test]
     fn conflicting_rel_is_error() {
         let mut g = AsGraph::new();
-        g.add_rel(l(1, 2), Rel::P2p).unwrap();
+        g.add_rel(l(1, 2), Rel::P2p)
+            .expect("fresh link accepts rel");
         let err = g.add_rel(l(1, 2), p2c(1)).unwrap_err();
         assert!(matches!(err, GraphError::ConflictingRelationship { .. }));
     }
@@ -276,7 +281,7 @@ mod tests {
     #[test]
     fn stub_detection() {
         let mut g = AsGraph::new();
-        g.add_rel(l(1, 2), p2c(1)).unwrap();
+        g.add_rel(l(1, 2), p2c(1)).expect("fresh link accepts rel");
         assert!(!g.is_stub(Asn(1)));
         assert!(g.is_stub(Asn(2)));
         assert!(g.is_stub(Asn(42))); // unknown AS defaults to stub
@@ -285,9 +290,10 @@ mod tests {
     #[test]
     fn count_by_class() {
         let mut g = AsGraph::new();
-        g.add_rel(l(1, 2), p2c(1)).unwrap();
-        g.add_rel(l(1, 3), p2c(1)).unwrap();
-        g.add_rel(l(2, 3), Rel::P2p).unwrap();
+        g.add_rel(l(1, 2), p2c(1)).expect("fresh link accepts rel");
+        g.add_rel(l(1, 3), p2c(1)).expect("fresh link accepts rel");
+        g.add_rel(l(2, 3), Rel::P2p)
+            .expect("fresh link accepts rel");
         let counts = g.count_by_class();
         assert_eq!(counts.get(&RelClass::P2c), Some(&2));
         assert_eq!(counts.get(&RelClass::P2p), Some(&1));

@@ -10,6 +10,8 @@
 //!          all                                  (default: all)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use breval_core::casestudy::run_case_study;
 use breval_core::pipeline::HeatmapMetric;
 use breval_core::report;
@@ -119,6 +121,7 @@ fn main() {
         config.topology.total_ases(),
         config.topology.seed
     );
+    // breval-lint: allow(L004) -- CLI wall-clock progress readout only; never feeds experiment results
     let t0 = std::time::Instant::now();
     let scenario = Scenario::run(config);
     eprintln!(

@@ -411,9 +411,9 @@ mod tests {
             .ases
             .values()
             .find(|i| i.tier == topogen::TierClass::Stub && i.special.is_none())
-            .unwrap()
+            .expect("generated topology contains plain stubs")
             .asn;
-        let routes = engine.propagate(g.node(stub).unwrap());
+        let routes = engine.propagate(g.node(stub).expect("stub is in the sim graph"));
         let reached = routes.reached();
         assert!(
             reached as f64 > 0.99 * g.len() as f64,
@@ -426,7 +426,9 @@ mod tests {
     fn paths_are_valley_free() {
         let (topo, g) = small_world();
         let engine = Propagator::new(&g);
-        let graph = topo.ground_truth_graph().unwrap();
+        let graph = topo
+            .ground_truth_graph()
+            .expect("generated topology is a valid graph");
         let origins: Vec<u32> = (0..g.len() as u32).step_by(37).collect();
         for origin in origins {
             let routes = engine.propagate(origin);
@@ -445,7 +447,7 @@ mod tests {
         let (topo, g) = small_world();
         let engine = Propagator::new(&g);
         // Find a partial-transit customer of cogent.
-        let cogent = g.node(topo.cogent).unwrap();
+        let cogent = g.node(topo.cogent).expect("cogent is in the sim graph");
         let partial_customer = g
             .customers(cogent)
             .iter()
@@ -461,7 +463,7 @@ mod tests {
             if *t1 == topo.cogent {
                 continue;
             }
-            let node = g.node(*t1).unwrap();
+            let node = g.node(*t1).expect("tier-1 is in the sim graph");
             if let Some(path) = routes.path(node, &g) {
                 let via_cogent = path
                     .windows(2)
@@ -488,7 +490,10 @@ mod tests {
         let routes = engine.propagate(origin);
         for node in 0..g.len() as u32 {
             if let Some(path) = routes.path(node, &g) {
-                assert_eq!(*path.last().unwrap(), g.asn(origin));
+                assert_eq!(
+                    *path.last().expect("routed paths are non-empty"),
+                    g.asn(origin)
+                );
                 assert_eq!(path[0], g.asn(node));
                 let mut compressed = path.clone();
                 compressed.dedup();
@@ -508,7 +513,7 @@ mod tests {
         use std::collections::BTreeMap;
         let mk = |n: u32| Asn(n);
         let mut links = BTreeMap::new();
-        let l = |a: u32, b: u32| Link::new(mk(a), mk(b)).unwrap();
+        let l = |a: u32, b: u32| Link::new(mk(a), mk(b)).expect("distinct endpoints");
         // A(1) provider of O(10) and B(2); O peers with B.
         links.insert(l(1, 10), GtRel::simple(Rel::P2c { provider: mk(1) }));
         links.insert(l(1, 2), GtRel::simple(Rel::P2c { provider: mk(1) }));
@@ -545,16 +550,22 @@ mod tests {
         };
         let g = SimGraph::build(&topo);
         let engine = Propagator::new(&g);
-        let routes = engine.propagate(g.node(mk(10)).unwrap());
+        let routes = engine.propagate(g.node(mk(10)).expect("origin is in the sim graph"));
         // B hears O via peer (len 1) and would hear via provider A (len 2):
         // peer wins by class.
-        let b = g.node(mk(2)).unwrap();
+        let b = g.node(mk(2)).expect("AS2 is in the sim graph");
         assert_eq!(routes.class(b), Some(RouteClass::Peer));
-        assert_eq!(routes.path(b, &g).unwrap(), vec![mk(2), mk(10)]);
+        assert_eq!(
+            routes.path(b, &g).expect("b has a route"),
+            vec![mk(2), mk(10)]
+        );
         // A hears O directly from its customer: class customer, len 1.
-        let a = g.node(mk(1)).unwrap();
+        let a = g.node(mk(1)).expect("AS1 is in the sim graph");
         assert_eq!(routes.class(a), Some(RouteClass::Customer));
-        assert_eq!(routes.path(a, &g).unwrap(), vec![mk(1), mk(10)]);
+        assert_eq!(
+            routes.path(a, &g).expect("a has a route"),
+            vec![mk(1), mk(10)]
+        );
     }
 
     #[test]

@@ -164,11 +164,11 @@ mod tests {
     fn region_map() -> RegionMap {
         let mut iana = IanaAsnTable::new();
         iana.push_block(1, 1000, BlockAuthority::Rir(RirRegion::Arin))
-            .unwrap();
+            .expect("non-overlapping block");
         iana.push_block(1001, 2000, BlockAuthority::Rir(RirRegion::Lacnic))
-            .unwrap();
+            .expect("non-overlapping block");
         iana.push_block(2001, 3000, BlockAuthority::Rir(RirRegion::RipeNcc))
-            .unwrap();
+            .expect("non-overlapping block");
         RegionMap::from_iana(iana)
     }
 
@@ -176,17 +176,20 @@ mod tests {
         let mut g = AsGraph::new();
         // 1 (T1) provides to 10 (TR) provides to 100 (S); 500 is H.
         g.add_rel(
-            Link::new(Asn(1), Asn(10)).unwrap(),
+            Link::new(Asn(1), Asn(10)).expect("distinct endpoints"),
             Rel::P2c { provider: Asn(1) },
         )
-        .unwrap();
+        .expect("fresh link accepts rel");
         g.add_rel(
-            Link::new(Asn(10), Asn(100)).unwrap(),
+            Link::new(Asn(10), Asn(100)).expect("distinct endpoints"),
             Rel::P2c { provider: Asn(10) },
         )
-        .unwrap();
-        g.add_rel(Link::new(Asn(10), Asn(500)).unwrap(), Rel::P2p)
-            .unwrap();
+        .expect("fresh link accepts rel");
+        g.add_rel(
+            Link::new(Asn(10), Asn(500)).expect("distinct endpoints"),
+            Rel::P2p,
+        )
+        .expect("fresh link accepts rel");
         LinkClassifier::new(
             region_map(),
             &g,
@@ -224,23 +227,23 @@ mod tests {
     fn link_region_classes() {
         let c = classifier();
         assert_eq!(
-            c.region_class(Link::new(Asn(5), Asn(900)).unwrap())
-                .unwrap()
+            c.region_class(Link::new(Asn(5), Asn(900)).expect("distinct endpoints"))
+                .expect("both endpoints have regions")
                 .label(),
             "AR°"
         );
         assert_eq!(
-            c.region_class(Link::new(Asn(5), Asn(1500)).unwrap())
-                .unwrap()
+            c.region_class(Link::new(Asn(5), Asn(1500)).expect("distinct endpoints"))
+                .expect("both endpoints have regions")
                 .label(),
             "AR-L"
         );
         // Unmapped / reserved endpoints yield None.
         assert!(c
-            .region_class(Link::new(Asn(5), Asn(9999)).unwrap())
+            .region_class(Link::new(Asn(5), Asn(9999)).expect("distinct endpoints"))
             .is_none());
         assert!(c
-            .region_class(Link::new(Asn(5), Asn(64512)).unwrap())
+            .region_class(Link::new(Asn(5), Asn(64512)).expect("distinct endpoints"))
             .is_none());
     }
 
@@ -258,13 +261,34 @@ mod tests {
     #[test]
     fn topo_labels_match_paper_convention() {
         let c = classifier();
-        assert_eq!(c.topo_class(Link::new(Asn(10), Asn(100)).unwrap()), "S-TR");
-        assert_eq!(c.topo_class(Link::new(Asn(1), Asn(10)).unwrap()), "T1-TR");
-        assert_eq!(c.topo_class(Link::new(Asn(1), Asn(100)).unwrap()), "S-T1");
-        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(10)).unwrap()), "H-TR");
-        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(100)).unwrap()), "H-S");
-        assert_eq!(c.topo_class(Link::new(Asn(500), Asn(1)).unwrap()), "H-T1");
-        assert_eq!(c.topo_class(Link::new(Asn(100), Asn(101)).unwrap()), "S°");
-        assert!(!c.is_tr_tr(Link::new(Asn(10), Asn(11)).unwrap()));
+        assert_eq!(
+            c.topo_class(Link::new(Asn(10), Asn(100)).expect("distinct endpoints")),
+            "S-TR"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(1), Asn(10)).expect("distinct endpoints")),
+            "T1-TR"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(1), Asn(100)).expect("distinct endpoints")),
+            "S-T1"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(500), Asn(10)).expect("distinct endpoints")),
+            "H-TR"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(500), Asn(100)).expect("distinct endpoints")),
+            "H-S"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(500), Asn(1)).expect("distinct endpoints")),
+            "H-T1"
+        );
+        assert_eq!(
+            c.topo_class(Link::new(Asn(100), Asn(101)).expect("distinct endpoints")),
+            "S°"
+        );
+        assert!(!c.is_tr_tr(Link::new(Asn(10), Asn(11)).expect("distinct endpoints")));
     }
 }

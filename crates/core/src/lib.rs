@@ -20,6 +20,10 @@
 //! * [`timeline`] — §7: validation staleness vs the re-sampling gain under
 //!   topology churn.
 //! * [`casestudy`] — §6.1: the Cogent partial-transit forensics.
+//! * [`sanitize`] — domain-invariant checks (graph well-formedness, P2C
+//!   acyclicity, path hygiene, valley-free sanity, validation ⊆ inferred,
+//!   class-partition completeness) asserted at stage boundaries in debug
+//!   builds and standalone via `cargo run -p xtask -- sanitize`.
 //! * [`pipeline`] — one-call scenario driver wiring all substrate crates.
 //! * [`report`] — text/CSV renderers for every table and figure.
 
@@ -37,6 +41,7 @@ pub mod metrics;
 pub mod pipeline;
 pub mod report;
 pub mod sampling;
+pub mod sanitize;
 pub mod timeline;
 
 pub use classes::{LinkClassifier, RegionClass, TopoClass};

@@ -7,6 +7,7 @@ use crate::cleaning::{clean, CleanValidation, CleaningConfig};
 use crate::coverage::{coverage_by_class, ClassCoverage};
 use crate::heatmap::{Heatmap, HeatmapConfig};
 use crate::metrics::{EvalTable, ScoredLink};
+use crate::sanitize;
 use asgraph::{cone, AsGraph, Link, PathSet, PathStats};
 use asinfer::{AsRank, Classifier, GaoClassifier, Inference, ProbLink, TopoScope};
 use bgpsim::RibSnapshot;
@@ -106,8 +107,17 @@ impl Scenario {
     pub fn run(config: ScenarioConfig) -> Self {
         let _span = breval_obs::span!("scenario_run");
         let topology = topogen::generate(&config.topology);
+        if cfg!(debug_assertions) {
+            match topology.ground_truth_graph() {
+                Ok(g) => sanitize::debug_assert_clean("generate", &sanitize::check_graph(&g)),
+                Err(e) => panic!("generated topology is not a valid graph: {e:?}"),
+            }
+        }
         let snapshot = bgpsim::simulate(&topology);
         let paths = snapshot.to_pathset(false).sanitized();
+        if cfg!(debug_assertions) {
+            sanitize::debug_assert_clean("sanitized_paths", &sanitize::check_pathset(&paths));
+        }
         let stats = {
             let _span = breval_obs::span!("path_stats");
             let stats = paths.stats();
@@ -147,6 +157,22 @@ impl Scenario {
             )
         };
         inferences.insert("asrank".into(), asrank);
+
+        if cfg!(debug_assertions) {
+            sanitize::debug_assert_clean(
+                "clean_validation",
+                &sanitize::check_validation_subset(&validation, &inferred_links),
+            );
+            sanitize::debug_assert_clean(
+                "link_classifier",
+                &sanitize::check_class_partition(
+                    &classifier,
+                    &inferred_links,
+                    &topology.tier1,
+                    &topology.hypergiants,
+                ),
+            );
+        }
 
         Scenario {
             config,

@@ -1,0 +1,105 @@
+//! The checked-in observability label registry.
+//!
+//! Span and counter labels are free-form strings at the call site, which
+//! makes them prone to silent drift: a renamed stage changes the
+//! `run_manifest.json` schema without any compiler help. The registry in
+//! `crates/obs/labels.txt` is the single source of truth for every label
+//! the workspace may emit. It is enforced twice:
+//!
+//! * statically — `cargo run -p xtask -- lint` (rule L003) checks every
+//!   `span!`/`counter` call-site literal against it, and
+//! * at runtime — the `tests/obs_manifest.rs` integration test asserts a
+//!   captured manifest contains only registered labels.
+
+use std::collections::BTreeSet;
+
+/// The registry file contents, embedded so the check needs no filesystem
+/// access at runtime.
+pub const REGISTRY_TEXT: &str = include_str!("../labels.txt");
+
+/// Parsed form of `crates/obs/labels.txt`: exact label names plus prefix
+/// wildcards (`rels_assigned.*`).
+#[derive(Debug, Clone, Default)]
+pub struct LabelRegistry {
+    exact: BTreeSet<String>,
+    prefixes: Vec<String>,
+}
+
+impl LabelRegistry {
+    /// Parses registry text: one label per line, `#` comments, `*` suffix
+    /// for prefix wildcards.
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut reg = LabelRegistry::default();
+        for raw in text.lines() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(prefix) = line.strip_suffix('*') {
+                reg.prefixes.push(prefix.to_owned());
+            } else {
+                reg.exact.insert(line.to_owned());
+            }
+        }
+        reg
+    }
+
+    /// The registry compiled into this crate.
+    #[must_use]
+    pub fn builtin() -> Self {
+        Self::parse(REGISTRY_TEXT)
+    }
+
+    /// `true` if a single label (no `/`) is registered.
+    #[must_use]
+    pub fn is_registered(&self, label: &str) -> bool {
+        self.exact.contains(label) || self.prefixes.iter().any(|p| label.starts_with(p.as_str()))
+    }
+
+    /// `true` if every `/`-separated segment of a span path is registered
+    /// (manifest stage names are slash-joined span labels).
+    #[must_use]
+    pub fn is_registered_path(&self, path: &str) -> bool {
+        path.split('/').all(|seg| self.is_registered(seg))
+    }
+
+    /// Number of exact entries plus wildcards (used for sanity assertions).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.prefixes.len()
+    }
+
+    /// `true` if the registry has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_exact_and_wildcard_entries() {
+        let reg = LabelRegistry::parse("# comment\nfoo\nbar.*\n\n  baz  \n");
+        assert!(reg.is_registered("foo"));
+        assert!(reg.is_registered("baz"));
+        assert!(reg.is_registered("bar.asrank"));
+        assert!(!reg.is_registered("qux"));
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn builtin_registry_covers_core_stages() {
+        let reg = LabelRegistry::builtin();
+        for label in ["scenario_run", "generate", "simulate", "links_inferred"] {
+            assert!(reg.is_registered(label), "{label} missing from labels.txt");
+        }
+        assert!(reg.is_registered("rels_assigned.asrank"));
+        assert!(reg.is_registered_path("scenario_run/infer_asrank"));
+        assert!(!reg.is_registered_path("scenario_run/bogus_stage"));
+    }
+}

@@ -39,6 +39,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod labels;
+
+pub use labels::LabelRegistry;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -425,9 +429,12 @@ pub fn write_run_manifest(label: &str, seed: u64) {
     let path = std::path::Path::new("results").join("run_manifest.json");
     match manifest.write_json(&path) {
         Ok(()) => {
+            // breval-lint: allow(L005) -- opt-in diagnostics sink (BREVAL_OBS=1); stderr keeps stdout machine-readable
             eprintln!("{}", manifest.render_table());
+            // breval-lint: allow(L005) -- opt-in diagnostics sink (BREVAL_OBS=1); stderr keeps stdout machine-readable
             eprintln!("run manifest written to {}", path.display());
         }
+        // breval-lint: allow(L005) -- best-effort warning; manifest write failure must not kill an experiment run
         Err(e) => eprintln!("obs: failed to write {}: {e}", path.display()),
     }
 }

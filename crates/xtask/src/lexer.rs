@@ -1,0 +1,448 @@
+//! A lightweight token-level scanner for Rust sources.
+//!
+//! The lint rules (see [`crate::rules`]) don't need a full parse — they need
+//! to know, per line, (a) which characters are *code* (as opposed to comment
+//! or string-literal content), (b) which string literals appear and where,
+//! (c) whether the line sits inside test-only code (`#[cfg(test)]` items),
+//! and (d) which waiver pragmas apply. This module produces exactly that
+//! view with a single character-level state machine, handling nested block
+//! comments, raw strings, char literals, and lifetimes.
+
+/// A waiver pragma: `// breval-lint: allow(L001,L005) -- reason text`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// Rule identifiers the waiver covers, e.g. `["L001"]`.
+    pub rules: Vec<String>,
+    /// The mandatory human-written justification.
+    pub reason: String,
+}
+
+impl Waiver {
+    /// `true` if this waiver suppresses `rule` (exact id match).
+    #[must_use]
+    pub fn covers(&self, rule: &str) -> bool {
+        self.rules.iter().any(|r| r == rule)
+    }
+}
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The line with comment content and string/char literal *bodies*
+    /// replaced by spaces (delimiters kept), so token searches never match
+    /// inside prose. Same length as the original line.
+    pub code: String,
+    /// String literals on this line as `(column_of_opening_quote, body)`.
+    pub strings: Vec<(usize, String)>,
+    /// `true` if the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Waivers that apply to this line (from a trailing pragma on the same
+    /// line or a pragma-only line immediately above).
+    pub waivers: Vec<Waiver>,
+    /// Set when the line carries a `breval-lint:` pragma that could not be
+    /// parsed (missing reason, bad syntax) — surfaced as its own violation.
+    pub malformed_pragma: Option<String>,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Lines, index 0 = line 1.
+    pub lines: Vec<LineInfo>,
+}
+
+impl ScannedFile {
+    /// `true` if any waiver on `line` (0-based) covers `rule`.
+    #[must_use]
+    pub fn waived(&self, line: usize, rule: &str) -> bool {
+        self.lines
+            .get(line)
+            .is_some_and(|l| l.waivers.iter().any(|w| w.covers(rule)))
+    }
+
+    /// The string literal that is the first argument starting at or after
+    /// `(line, col)` — used to resolve `.expect(` / label arguments. Looks
+    /// past whitespace on the same line, then on the next line (call sites
+    /// wrapped by rustfmt).
+    #[must_use]
+    pub fn string_arg_at(&self, line: usize, col: usize) -> Option<&str> {
+        for (offset, info) in self.lines.iter().enumerate().skip(line).take(2) {
+            let start = if offset == line { col } else { 0 };
+            let code = info.code.as_bytes();
+            let mut i = start;
+            while i < code.len() && (code[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if i >= code.len() {
+                continue; // argument continues on the next line
+            }
+            if code[i] == b'"' {
+                return info
+                    .strings
+                    .iter()
+                    .find(|(c, _)| *c == i)
+                    .map(|(_, s)| s.as_str());
+            }
+            return None; // first argument is not a string literal
+        }
+        None
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Scans `text` into per-line code/string/test/waiver information.
+#[must_use]
+pub fn scan(text: &str) -> ScannedFile {
+    let raw_lines: Vec<&str> = text.split('\n').collect();
+    let mut lines: Vec<LineInfo> = Vec::with_capacity(raw_lines.len());
+
+    let mut state = State::Normal;
+    // Stack of brace depths at which a `#[cfg(test)]` item's block opened.
+    let mut depth: i64 = 0;
+    let mut test_regions: Vec<i64> = Vec::new();
+    // A `#[cfg(test)]` attribute was seen and its item's `{` is pending.
+    let mut pending_test_attr = false;
+
+    for raw in &raw_lines {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut code: Vec<char> = Vec::with_capacity(chars.len());
+        let mut strings: Vec<(usize, String)> = Vec::new();
+        let mut cur_string: Option<(usize, String)> = None;
+        let mut comment_text = String::new();
+
+        if state == State::LineComment {
+            state = State::Normal;
+        }
+
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Normal => {
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        comment_text = chars[i..].iter().collect();
+                        code.resize(chars.len(), ' ');
+                        i = chars.len();
+                        continue;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    } else if c == '"' {
+                        state = State::Str;
+                        cur_string = Some((i, String::new()));
+                        code.push('"');
+                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
+                        // Possible raw string r"…" / r#"…"#.
+                        let mut j = i + 1;
+                        let mut hashes = 0u32;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            cur_string = Some((j, String::new()));
+                            code.resize(j + 1, ' ');
+                            i = j + 1;
+                            continue;
+                        }
+                        code.push(c);
+                    } else if c == '\'' {
+                        // Lifetime (`'a`) vs char literal (`'x'`, `'\n'`).
+                        let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                            && chars.get(i + 2) != Some(&'\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            state = State::Char;
+                            code.push('\'');
+                        }
+                    } else {
+                        code.push(c);
+                    }
+                }
+                State::BlockComment(d) => {
+                    if c == '*' && next == Some('/') {
+                        state = if d > 1 {
+                            State::BlockComment(d - 1)
+                        } else {
+                            State::Normal
+                        };
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(d + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Str => {
+                    if c == '\\' {
+                        if let Some((_, s)) = cur_string.as_mut() {
+                            s.push(c);
+                            if let Some(n) = next {
+                                s.push(n);
+                            }
+                        }
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    } else if c == '"' {
+                        state = State::Normal;
+                        if let Some(done) = cur_string.take() {
+                            strings.push(done);
+                        }
+                        code.push('"');
+                    } else {
+                        if let Some((_, s)) = cur_string.as_mut() {
+                            s.push(c);
+                        }
+                        code.push(' ');
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes as usize {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            state = State::Normal;
+                            if let Some(done) = cur_string.take() {
+                                strings.push(done);
+                            }
+                            code.resize(code.len() + hashes as usize + 1, ' ');
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    if let Some((_, s)) = cur_string.as_mut() {
+                        s.push(c);
+                    }
+                    code.push(' ');
+                }
+                State::Char => {
+                    if c == '\\' {
+                        code.push(' ');
+                        if next.is_some() {
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                    } else if c == '\'' {
+                        state = State::Normal;
+                        code.push('\'');
+                    } else {
+                        code.push(' ');
+                    }
+                }
+                State::LineComment => unreachable!("reset at line start"),
+            }
+            i += 1;
+        }
+
+        // Char literals cannot span lines; string literals (normal and raw)
+        // can — keep their state, recording only the first-line fragment.
+        if state == State::Char {
+            state = State::Normal;
+        }
+        if matches!(state, State::Str | State::RawStr(_)) {
+            if let Some((col, s)) = cur_string.take() {
+                strings.push((col, s));
+            }
+        }
+
+        let code: String = code.into_iter().collect();
+
+        // Test-region tracking over the cleaned code.
+        let trimmed = code.trim();
+        if trimmed.starts_with("#[cfg(test)]") {
+            pending_test_attr = true;
+        }
+        let in_test_now = !test_regions.is_empty() || pending_test_attr;
+        // `#[cfg(test)]` on a brace-less item (`use`, type alias) scopes to
+        // that single item: consume the pending flag at its semicolon.
+        if pending_test_attr
+            && !trimmed.starts_with("#[")
+            && !code.contains('{')
+            && code.contains(';')
+        {
+            pending_test_attr = false;
+        }
+        let mut opened_at: Option<i64> = None;
+        for ch in code.chars() {
+            if ch == '{' {
+                if pending_test_attr && opened_at.is_none() {
+                    opened_at = Some(depth);
+                    test_regions.push(depth);
+                    pending_test_attr = false;
+                }
+                depth += 1;
+            } else if ch == '}' {
+                depth -= 1;
+                if test_regions.last().is_some_and(|d| *d >= depth) {
+                    test_regions.pop();
+                }
+            }
+        }
+
+        // Pragma parsing. A waiver must be the whole comment — `breval-lint:`
+        // directly after `//` — so prose that merely *mentions* the pragma
+        // syntax (docs, this comment) is never mistaken for one. Doc
+        // comments (`///`, `//!`) are documentation, not directives.
+        let mut waivers = Vec::new();
+        let mut malformed = None;
+        let after_marker = comment_text.strip_prefix("//").unwrap_or("");
+        if !after_marker.starts_with('/') && !after_marker.starts_with('!') {
+            if let Some(tail) = after_marker.trim_start().strip_prefix("breval-lint:") {
+                match parse_pragma(tail) {
+                    Ok(w) => waivers.push(w),
+                    Err(e) => malformed = Some(e),
+                }
+            }
+        }
+
+        lines.push(LineInfo {
+            code,
+            strings,
+            in_test: in_test_now,
+            waivers,
+            malformed_pragma: malformed,
+        });
+    }
+
+    // A pragma on a comment-only line applies to the next line with code.
+    let mut carried: Vec<Waiver> = Vec::new();
+    for info in &mut lines {
+        let has_code = !info.code.trim().is_empty();
+        let own: Vec<Waiver> = info.waivers.clone();
+        if has_code {
+            info.waivers.append(&mut carried);
+        } else if !own.is_empty() {
+            carried.extend(own);
+        }
+    }
+
+    ScannedFile { lines }
+}
+
+/// Parses the tail of a pragma after `breval-lint:`. Expected form:
+/// `allow(L001,L003) -- reason text`.
+fn parse_pragma(tail: &str) -> Result<Waiver, String> {
+    let tail = tail.trim();
+    let Some(rest) = tail.strip_prefix("allow(") else {
+        return Err(format!("expected `allow(<rules>)`, got `{tail}`"));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed `allow(` in pragma".to_owned());
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() || !rules.iter().all(|r| is_rule_id(r)) {
+        return Err(format!("bad rule list `{}`", &rest[..close]));
+    }
+    let after = rest[close + 1..].trim();
+    let Some(reason) = after.strip_prefix("--") else {
+        return Err("waiver is missing a `-- <reason>` justification".to_owned());
+    };
+    let reason = reason.trim();
+    if reason.len() < 10 {
+        return Err("waiver reason must be a real justification (≥ 10 chars)".to_owned());
+    }
+    Ok(Waiver {
+        rules,
+        reason: reason.to_owned(),
+    })
+}
+
+fn is_rule_id(s: &str) -> bool {
+    s.len() == 4 && s.starts_with('L') && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings() {
+        let f = scan("let x = \"unwrap() inside\"; // .unwrap() in comment\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert_eq!(f.lines[0].strings[0].1, "unwrap() inside");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let f = scan("let s = r#\"a \"quoted\" b\"#; let c = '\\''; let l: &'static str = s;\n");
+        assert_eq!(f.lines[0].strings[0].1, "a \"quoted\" b");
+        assert!(f.lines[0].code.contains("&'static"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let f = scan("/* outer /* inner */ still comment .unwrap() */ let y = 1;\nlet z = 2;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("let y"));
+        assert!(f.lines[1].code.contains("let z"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test, "region must close with the mod brace");
+    }
+
+    #[test]
+    fn pragma_parses_and_carries_to_next_line() {
+        let src = "// breval-lint: allow(L001) -- intentionally partial fixture\nx.unwrap();\n";
+        let f = scan(src);
+        assert!(f.waived(1, "L001"));
+        assert!(!f.waived(1, "L005"));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_malformed() {
+        let f = scan("x.unwrap(); // breval-lint: allow(L001)\n");
+        assert!(f.lines[0].malformed_pragma.is_some());
+        let f2 = scan("x.unwrap(); // breval-lint: allow(L001) -- short\n");
+        assert!(f2.lines[0].malformed_pragma.is_some());
+    }
+
+    #[test]
+    fn string_arg_resolution() {
+        let f = scan("foo.expect(\n    \"the invariant message\",\n);\n");
+        let col = f.lines[0].code.find(".expect(").unwrap() + ".expect(".len();
+        assert_eq!(f.string_arg_at(0, col), Some("the invariant message"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # xtask — workspace static analysis
+//!
+//! A zero-dependency static-analysis pass with two layers, run as
+//! `cargo run -p xtask -- <lint|sanitize>`:
+//!
+//! * **code lints** ([`lexer`], [`rules`], [`lint`]) — a token-level Rust
+//!   scanner enforcing the project rules L001–L006 (panic discipline,
+//!   `#![forbid(unsafe_code)]`, registered observability labels, clock
+//!   usage, print discipline, workspace-mediated dependencies), with an
+//!   auditable waiver pragma:
+//!   `// breval-lint: allow(L001) -- <reason, mandatory>`;
+//! * **data sanitizer** (in `breval_core::sanitize`, driven from this
+//!   crate's binary) — domain invariants of the paper pipeline checked over
+//!   a freshly-run scenario and the persisted `results/` artifacts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod lexer;
+pub mod lint;
+pub mod rules;

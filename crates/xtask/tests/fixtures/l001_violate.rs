@@ -1,0 +1,9 @@
+// L001 fixture: panicking calls in non-test library code.
+pub fn parse_port(s: &str) -> u16 {
+    let first = s.split(':').next_back().unwrap();
+    first.parse().expect(&format!("bad port {s}"))
+}
+
+pub fn message_less(v: Option<u32>) -> u32 {
+    v.expect("")
+}

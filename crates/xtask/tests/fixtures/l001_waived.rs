@@ -1,0 +1,7 @@
+// L001 fixture (waived): the pragma carries a written reason, so the
+// unwrap below must NOT be reported.
+#![forbid(unsafe_code)]
+pub fn startup_config() -> String {
+    // breval-lint: allow(L001) -- config is embedded at compile time and verified by a build test
+    std::str::from_utf8(b"embedded").unwrap().to_owned()
+}

@@ -1,0 +1,6 @@
+// L002 fixture (clean): the crate root forbids unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,4 @@
+// L002 fixture: a crate root without `#![forbid(unsafe_code)]`.
+pub fn answer() -> u32 {
+    42
+}

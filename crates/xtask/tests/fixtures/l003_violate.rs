@@ -1,0 +1,6 @@
+// L003 fixture: observability labels that are not in the checked-in
+// registry (crates/obs/labels.txt).
+pub fn do_work() {
+    let _span = breval_obs::span!("totally_unregistered_stage");
+    breval_obs::counter("totally_unregistered_counter", 1);
+}

@@ -1,0 +1,5 @@
+// L005 fixture: direct printing from a library crate.
+pub fn report(n: usize) {
+    println!("processed {n} items");
+    eprintln!("warning: {n} items is a lot");
+}

@@ -105,4 +105,36 @@ fn small_scenario_manifest_covers_all_stages() {
     assert!(json.contains("scenario_run/infer_asrank"));
     let table = manifest.render_table();
     assert!(table.contains("scenario_run/clean_validation"));
+
+    // Every label the run produced must be in the checked-in registry
+    // (crates/obs/labels.txt) — the same contract `xtask lint` (L003) and
+    // `xtask sanitize` enforce. A failure here means instrumentation was
+    // added without registering its label.
+    let registry = obs::LabelRegistry::builtin();
+    assert!(!registry.is_empty(), "label registry must parse non-empty");
+    for stage in &manifest.stages {
+        assert!(
+            registry.is_registered_path(&stage.name),
+            "stage path {:?} contains an unregistered segment",
+            stage.name
+        );
+        for label in stage.counters.keys() {
+            assert!(
+                registry.is_registered(label),
+                "counter {label:?} (stage {:?}) is not in the obs label registry",
+                stage.name
+            );
+        }
+    }
+    for label in manifest
+        .counters
+        .keys()
+        .chain(manifest.gauges.keys())
+        .chain(manifest.histograms.keys())
+    {
+        assert!(
+            registry.is_registered(label),
+            "metric label {label:?} is not in the obs label registry"
+        );
+    }
 }
