@@ -34,14 +34,16 @@ pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
     cone
 }
 
-/// Customer-cone sizes for every AS in the graph (self included), computed in
-/// reverse-topological order with memoisation where the customer DAG allows it.
+/// Customer-cone sizes for every AS in the graph (self included). Per-AS
+/// cone walks are independent, so they fan out over the work-stealing pool
+/// (`breval_par`); results are identical at any thread count.
 #[must_use]
 pub fn customer_cone_sizes(graph: &AsGraph) -> HashMap<Asn, usize> {
-    graph
-        .ases()
-        .map(|asn| (asn, customer_cone(graph, asn).len()))
-        .collect()
+    let ases: Vec<Asn> = graph.ases().collect();
+    let sizes: Vec<usize> =
+        breval_par::parallel_map(ases.len(), |i| customer_cone(graph, ases[i]).len());
+    breval_obs::counter("cone_sizes_computed", ases.len() as u64);
+    ases.into_iter().zip(sizes).collect()
 }
 
 /// Computes the provider/peer observed customer cones (PPDC) from observed
@@ -85,10 +87,12 @@ pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, Ha
 /// PPDC cone *sizes* (see [`ppdc_cones`]).
 #[must_use]
 pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, usize> {
-    ppdc_cones(paths, rels)
+    let sizes: HashMap<Asn, usize> = ppdc_cones(paths, rels)
         .into_iter()
         .map(|(a, s)| (a, s.len()))
-        .collect()
+        .collect();
+    breval_obs::counter("ppdc_sizes_computed", sizes.len() as u64);
+    sizes
 }
 
 #[cfg(test)]

@@ -19,10 +19,14 @@
 //!    misclassified, §6).
 //! 6. **Default** — every remaining link is P2P.
 
-use crate::common::{Classifier, Inference};
+use crate::common::{break_provider_cycles, Classifier, Inference, PreparedPaths};
 use asgraph::clique::{infer_clique, CliqueParams};
-use asgraph::{Asn, Link, PathSet, Rel};
+use asgraph::{Asn, Link, PathSet, PathStats, Rel};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Transit-degree boost applied to clique members during cycle repair, so
+/// an orientation flip can never rank a clique member below a non-member.
+const CLIQUE_TD_BOOST: usize = 1 << 32;
 
 /// Tunables for the ASRank pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -69,7 +73,18 @@ impl Classifier for AsRank {
     fn infer(&self, paths: &PathSet) -> Inference {
         let clean = paths.sanitized();
         let stats = clean.stats();
-        let clique = infer_clique(&stats, self.params.clique);
+        self.infer_clean(&clean, &stats)
+    }
+
+    fn infer_prepared(&self, prep: PreparedPaths<'_>) -> Inference {
+        self.infer_clean(prep.paths, prep.stats)
+    }
+}
+
+impl AsRank {
+    /// The pipeline over already-sanitized paths with precomputed stats.
+    fn infer_clean(&self, clean: &PathSet, stats: &PathStats) -> Inference {
+        let clique = infer_clique(stats, self.params.clique);
 
         // ---- Stage 3: triplet cascade votes ---------------------------------
         // votes[(provider, customer)] = evidence count.
@@ -131,7 +146,20 @@ impl Classifier for AsRank {
             for (k, v) in new_votes {
                 *votes.entry(k).or_insert(0) += v;
             }
-            known_p2c = resolve_votes(&votes, &stats, &clique, self.params.conflict_ratio);
+            known_p2c = resolve_votes(&votes, stats, &clique, self.params.conflict_ratio);
+            // Vote resolution decides each link independently, so the
+            // per-link decisions can assemble into a provider cycle — an
+            // impossibility under the original's rank-ordered top-down
+            // iteration. Repair after every pass: votes persist across
+            // passes, so a cycle fixed only once would reseed itself.
+            break_provider_cycles(&mut known_p2c, |a| {
+                let boost = if clique.contains(&a) {
+                    CLIQUE_TD_BOOST
+                } else {
+                    0
+                };
+                stats.transit_degree(a) + boost
+            });
             if known_p2c.len() == before && pass > 0 {
                 break;
             }

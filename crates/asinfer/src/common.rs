@@ -1,8 +1,9 @@
-//! Shared classifier interface and output type.
+//! Shared classifier interface, output type, prepared-input plumbing, and
+//! the provider-cycle repair pass every P2C-producing classifier runs.
 
-use asgraph::{Asn, Link, PathSet, Rel, RelClass};
+use asgraph::{Asn, Link, PathSet, PathStats, Rel, RelClass};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The output of a relationship-inference run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -60,6 +61,45 @@ impl Inference {
     }
 }
 
+/// Pre-digested classifier input: sanitized paths with their one-pass
+/// statistics, plus (optionally) a full-view ASRank inference that
+/// bootstrap classifiers (ProbLink, TopoScope) reuse instead of each
+/// recomputing it. Sharing one preparation across the classifier ensemble
+/// removes the pipeline's dominant redundant work without changing any
+/// classifier's output: `infer_prepared` over a prepared input equals
+/// `infer` over the raw paths whenever `paths`/`stats`/`asrank` match what
+/// the classifier would derive itself.
+#[derive(Clone, Copy)]
+pub struct PreparedPaths<'a> {
+    /// Sanitized observed paths (no loops, no reserved ASNs).
+    pub paths: &'a PathSet,
+    /// Statistics of `paths` (degrees, links, VP visibility).
+    pub stats: &'a PathStats,
+    /// A full-view ASRank inference over `paths`, when already available.
+    pub asrank: Option<&'a Inference>,
+}
+
+impl<'a> PreparedPaths<'a> {
+    /// Wraps already-sanitized paths and their stats, with no ASRank seed.
+    #[must_use]
+    pub fn new(paths: &'a PathSet, stats: &'a PathStats) -> Self {
+        PreparedPaths {
+            paths,
+            stats,
+            asrank: None,
+        }
+    }
+
+    /// Attaches a shared full-view ASRank inference.
+    #[must_use]
+    pub fn with_asrank(self, asrank: &'a Inference) -> Self {
+        PreparedPaths {
+            asrank: Some(asrank),
+            ..self
+        }
+    }
+}
+
 /// A relationship classifier: observed paths in, labelled links out.
 pub trait Classifier {
     /// Human-readable name (used in report tables).
@@ -67,6 +107,16 @@ pub trait Classifier {
 
     /// Runs the inference.
     fn infer(&self, paths: &PathSet) -> Inference;
+
+    /// Runs the inference over pre-sanitized paths with precomputed stats
+    /// (and possibly a shared ASRank seed). The default ignores the
+    /// preparation and re-derives everything from `prep.paths`; classifiers
+    /// override this to skip redundant sanitisation / statistics / seed
+    /// recomputation. Must produce exactly the same result as
+    /// [`Classifier::infer`] on the same underlying paths.
+    fn infer_prepared(&self, prep: PreparedPaths<'_>) -> Inference {
+        self.infer(prep.paths)
+    }
 
     /// Runs the inference inside an observability span `infer_<name>`,
     /// recording the number of relationship labels assigned. Classifiers
@@ -76,23 +126,377 @@ pub trait Classifier {
         if !breval_obs::enabled() {
             return self.infer(paths);
         }
-        let name = self.name();
-        // breval-lint: allow(L003) -- per-classifier span name; each infer_<name> is enumerated in the obs label registry
-        let _span = breval_obs::span(&format!("infer_{name}"));
+        let _guard = observe_enter(self.name());
         let inference = self.infer(paths);
-        breval_obs::counter("rels_assigned", inference.rels.len() as u64);
-        // breval-lint: allow(L003) -- per-classifier counter; covered by the rels_assigned.* registry wildcard
-        breval_obs::counter(
-            &format!("rels_assigned.{name}"),
-            inference.rels.len() as u64,
-        );
+        observe_exit(self.name(), &inference);
         inference
     }
+
+    /// [`Classifier::infer_prepared`] under the same `infer_<name>` span
+    /// and counters as [`Classifier::infer_observed`].
+    fn infer_prepared_observed(&self, prep: PreparedPaths<'_>) -> Inference {
+        if !breval_obs::enabled() {
+            return self.infer_prepared(prep);
+        }
+        let _guard = observe_enter(self.name());
+        let inference = self.infer_prepared(prep);
+        observe_exit(self.name(), &inference);
+        inference
+    }
+}
+
+/// Opens the per-classifier observability span.
+fn observe_enter(name: &str) -> breval_obs::SpanGuard {
+    // breval-lint: allow(L003) -- per-classifier span name; each infer_<name> is enumerated in the obs label registry
+    breval_obs::span(&format!("infer_{name}"))
+}
+
+/// Records the per-classifier label counters (global + per-name).
+fn observe_exit(name: &str, inference: &Inference) {
+    breval_obs::counter("rels_assigned", inference.rels.len() as u64);
+    // breval-lint: allow(L003) -- per-classifier counter; covered by the rels_assigned.* registry wildcard
+    breval_obs::counter(
+        &format!("rels_assigned.{name}"),
+        inference.rels.len() as u64,
+    );
+}
+
+/// Outcome of one [`break_provider_cycles`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakReport {
+    /// Edges whose orientation was flipped to rank order.
+    pub flipped: usize,
+    /// Edges removed outright (caller defaults the link to P2P).
+    pub dropped: usize,
+}
+
+impl CycleBreakReport {
+    /// `true` when the input was already acyclic.
+    #[must_use]
+    pub fn untouched(&self) -> bool {
+        self.flipped == 0 && self.dropped == 0
+    }
+}
+
+/// Breaks every provider cycle in a directed `(provider, customer)` edge
+/// set, in place.
+///
+/// Provider cycles are impossible under the rank-ordered top-down
+/// inference of Luckie et al. — an AS cannot transitively provide to
+/// itself — yet vote-based conflict resolution (ASRank) and ensemble
+/// reconciliation (TopoScope) can assemble per-link decisions into one.
+/// This pass restores the invariant the way the original's top-down
+/// iteration implies: while a cycle exists, take the cycle edge with the
+/// **smallest transit-degree gap** (the weakest directional assertion) and
+/// break it **using rank order** — if the rank order (higher
+/// `transit_degree` provides) disagrees with the edge's orientation, the
+/// edge is flipped; otherwise the edge is contradictory evidence inside a
+/// cycle and is dropped (the caller's default turns the link into P2P).
+/// Each edge is flipped at most once, so the pass terminates; acyclic
+/// inputs are returned untouched. Deterministic: cycles are located by
+/// smallest-ASN walk and ties between candidate edges break on the edge
+/// tuple.
+pub fn break_provider_cycles<F>(
+    edges: &mut BTreeSet<(Asn, Asn)>,
+    transit_degree: F,
+) -> CycleBreakReport
+where
+    F: Fn(Asn) -> usize,
+{
+    let mut report = CycleBreakReport::default();
+    let mut flipped_once: BTreeSet<Link> = BTreeSet::new();
+    loop {
+        let residue = p2c_residue(edges);
+        if residue.is_empty() {
+            break;
+        }
+        let cycle = find_cycle(edges, &residue);
+        // The weakest assertion on the cycle: smallest transit-degree gap.
+        // Equal gaps prefer the rank-inverted orientation (so a two-node
+        // cycle keeps the rank-ordered edge), then break ties by tuple.
+        let Some(&(provider, customer)) = cycle.iter().min_by_key(|&&(p, c)| {
+            (
+                transit_degree(p).abs_diff(transit_degree(c)),
+                usize::from(transit_degree(p) >= transit_degree(c)),
+                p.0,
+                c.0,
+            )
+        }) else {
+            break; // unreachable: a non-empty residue always yields a cycle
+        };
+        let rank_inverted = transit_degree(customer) > transit_degree(provider);
+        let link = Link::new(provider, customer);
+        edges.remove(&(provider, customer));
+        if rank_inverted
+            && link.map(|l| flipped_once.insert(l)).unwrap_or(false)
+            && !edges.contains(&(customer, provider))
+        {
+            edges.insert((customer, provider));
+            report.flipped += 1;
+        } else {
+            report.dropped += 1;
+        }
+    }
+    breval_obs::counter("p2c_cycle_edges_flipped", report.flipped as u64);
+    breval_obs::counter("p2c_cycle_edges_dropped", report.dropped as u64);
+    report
+}
+
+/// Kahn's algorithm over the provider→customer edges: returns the ASes
+/// left on cycles (empty for a DAG).
+fn p2c_residue(edges: &BTreeSet<(Asn, Asn)>) -> BTreeSet<Asn> {
+    let mut indegree: HashMap<Asn, usize> = HashMap::new();
+    let mut customers: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    for &(p, c) in edges.iter() {
+        customers.entry(p).or_default().push(c);
+        *indegree.entry(c).or_insert(0) += 1;
+        indegree.entry(p).or_insert(0);
+    }
+    let mut queue: Vec<Asn> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(a, _)| *a)
+        .collect();
+    while let Some(p) = queue.pop() {
+        if let Some(cs) = customers.get(&p) {
+            for c in cs {
+                let d = indegree
+                    .get_mut(c)
+                    .expect("every customer has an indegree entry");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(*c);
+                }
+            }
+        }
+        indegree.remove(&p);
+    }
+    indegree.keys().copied().collect()
+}
+
+/// Finds one provider cycle inside the Kahn residue: from the smallest
+/// residue AS, repeatedly step to the smallest in-residue provider until a
+/// node repeats. Every residue node has such a provider by construction.
+fn find_cycle(edges: &BTreeSet<(Asn, Asn)>, residue: &BTreeSet<Asn>) -> Vec<(Asn, Asn)> {
+    let mut providers_of: HashMap<Asn, Asn> = HashMap::new();
+    for &(p, c) in edges.iter() {
+        if residue.contains(&p) && residue.contains(&c) {
+            // BTreeSet iteration is ascending, so the first provider seen
+            // per customer is the smallest.
+            providers_of.entry(c).or_insert(p);
+        }
+    }
+    let Some(start) = residue.iter().next().copied() else {
+        return Vec::new();
+    };
+    let mut walk: Vec<Asn> = vec![start];
+    let mut seen_at: HashMap<Asn, usize> = HashMap::new();
+    seen_at.insert(start, 0);
+    loop {
+        let cur = *walk.last().expect("walk starts non-empty");
+        let Some(&prov) = providers_of.get(&cur) else {
+            return Vec::new(); // unreachable for a true residue
+        };
+        if let Some(&k) = seen_at.get(&prov) {
+            // walk[k..] plus prov closes the cycle: prov provides walk[k],
+            // and walk[i+1] provides walk[i] along the suffix.
+            let mut cycle: Vec<(Asn, Asn)> = walk[k..].windows(2).map(|w| (w[1], w[0])).collect();
+            cycle.push((prov, cur));
+            return cycle;
+        }
+        seen_at.insert(prov, walk.len());
+        walk.push(prov);
+    }
+}
+
+/// Applies [`break_provider_cycles`] to a full relationship map: P2C
+/// entries are extracted, repaired, and written back — flipped edges swap
+/// their provider, dropped edges become P2P. Non-P2C entries and the key
+/// set are untouched.
+pub fn break_provider_cycles_in_rels<F>(
+    rels: &mut BTreeMap<Link, Rel>,
+    transit_degree: F,
+) -> CycleBreakReport
+where
+    F: Fn(Asn) -> usize,
+{
+    let mut p2c: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    for (link, rel) in rels.iter() {
+        if let Rel::P2c { provider } = rel {
+            let (a, b) = link.endpoints();
+            let customer = if *provider == a { b } else { a };
+            p2c.insert((*provider, customer));
+        }
+    }
+    let report = break_provider_cycles(&mut p2c, transit_degree);
+    if report.untouched() {
+        return report;
+    }
+    for (link, rel) in rels.iter_mut() {
+        if let Rel::P2c { provider } = *rel {
+            let (a, b) = link.endpoints();
+            let customer = if provider == a { b } else { a };
+            if p2c.contains(&(provider, customer)) {
+                continue;
+            }
+            *rel = if p2c.contains(&(customer, provider)) {
+                Rel::P2c { provider: customer }
+            } else {
+                Rel::P2p
+            };
+        }
+    }
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn edges(pairs: &[(u32, u32)]) -> BTreeSet<(Asn, Asn)> {
+        pairs.iter().map(|&(p, c)| (Asn(p), Asn(c))).collect()
+    }
+
+    #[test]
+    fn cycle_break_leaves_acyclic_input_untouched() {
+        // A small provider hierarchy: 1 → {2, 3}, 2 → 3, 3 → 4. A DAG.
+        let mut p2c = edges(&[(1, 2), (1, 3), (2, 3), (3, 4)]);
+        let before = p2c.clone();
+        let report = break_provider_cycles(&mut p2c, |a| (100 - a.0) as usize);
+        assert!(report.untouched(), "acyclic input must not be modified");
+        assert_eq!(p2c, before);
+    }
+
+    #[test]
+    fn cycle_break_flips_rank_inverted_weakest_edge() {
+        // Cycle 1 → 2 → 3 → 1 with transit degrees 12/50/11. Gaps:
+        // (1,2)=38, (2,3)=39, (3,1)=1, so (3,1) is the weakest assertion;
+        // rank order (td(1)=12 > td(3)=11) says 1 should provide 3, so the
+        // edge flips rather than drops.
+        let mut p2c = edges(&[(1, 2), (2, 3), (3, 1)]);
+        let td = |a: Asn| match a.0 {
+            1 => 12usize,
+            2 => 50,
+            _ => 11,
+        };
+        let report = break_provider_cycles(&mut p2c, td);
+        assert_eq!(
+            report,
+            CycleBreakReport {
+                flipped: 1,
+                dropped: 0
+            }
+        );
+        assert_eq!(p2c, edges(&[(1, 2), (1, 3), (2, 3)]));
+    }
+
+    #[test]
+    fn cycle_break_drops_weakest_edge_already_in_rank_order() {
+        // Cycle 1 → 2 → 3 → 1 with transit degrees 50/10/5. Gaps:
+        // (1,2)=40, (2,3)=5, (3,1)=45, so (2,3) is weakest; it already
+        // agrees with rank order (td(2)=10 > td(3)=5), so flipping would
+        // only worsen rank inversion — the edge drops instead.
+        let mut p2c = edges(&[(1, 2), (2, 3), (3, 1)]);
+        let td = |a: Asn| match a.0 {
+            1 => 50usize,
+            2 => 10,
+            _ => 5,
+        };
+        let report = break_provider_cycles(&mut p2c, td);
+        assert_eq!(
+            report,
+            CycleBreakReport {
+                flipped: 0,
+                dropped: 1
+            }
+        );
+        assert_eq!(p2c, edges(&[(1, 2), (3, 1)]));
+    }
+
+    #[test]
+    fn cycle_break_two_node_cycle_keeps_rank_order_orientation() {
+        // Both orientations asserted between 1 and 2; td(1) > td(2) so
+        // whatever survives must orient 1 → 2.
+        let mut p2c = edges(&[(1, 2), (2, 1)]);
+        let td = |a: Asn| if a.0 == 1 { 20usize } else { 3 };
+        let report = break_provider_cycles(&mut p2c, td);
+        assert!(!report.untouched());
+        assert_eq!(p2c, edges(&[(1, 2)]));
+    }
+
+    #[test]
+    fn cycle_break_terminates_on_dense_tangle() {
+        // Complete bidirectional digraph over 5 ASes: heavily cyclic.
+        let mut p2c = BTreeSet::new();
+        for p in 1..=5u32 {
+            for c in 1..=5u32 {
+                if p != c {
+                    p2c.insert((Asn(p), Asn(c)));
+                }
+            }
+        }
+        let td = |a: Asn| (6 - a.0) as usize;
+        break_provider_cycles(&mut p2c, td);
+        let mut check = p2c.clone();
+        assert!(break_provider_cycles(&mut check, td).untouched());
+    }
+
+    #[test]
+    fn cycle_break_in_rels_preserves_key_set() {
+        let l12 = Link::new(Asn(1), Asn(2)).expect("distinct");
+        let l23 = Link::new(Asn(2), Asn(3)).expect("distinct");
+        let l13 = Link::new(Asn(1), Asn(3)).expect("distinct");
+        let l45 = Link::new(Asn(4), Asn(5)).expect("distinct");
+        let mut rels: BTreeMap<Link, Rel> = BTreeMap::new();
+        // Cycle 1 → 2 → 3 → 1 plus an unrelated P2P link.
+        rels.insert(l12, Rel::P2c { provider: Asn(1) });
+        rels.insert(l23, Rel::P2c { provider: Asn(2) });
+        rels.insert(l13, Rel::P2c { provider: Asn(3) });
+        rels.insert(l45, Rel::P2p);
+        let keys: Vec<Link> = rels.keys().copied().collect();
+        let report = break_provider_cycles_in_rels(&mut rels, |a| (10 - a.0) as usize);
+        assert!(!report.untouched());
+        assert_eq!(rels.keys().copied().collect::<Vec<_>>(), keys);
+        assert_eq!(rels[&l45], Rel::P2p, "untouched entries survive");
+        // Result must be acyclic.
+        let mut p2c: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+        for (link, rel) in rels.iter() {
+            if let Rel::P2c { provider } = rel {
+                let (a, b) = link.endpoints();
+                let customer = if *provider == a { b } else { a };
+                p2c.insert((*provider, customer));
+            }
+        }
+        assert!(break_provider_cycles(&mut p2c, |a| (10 - a.0) as usize).untouched());
+    }
+
+    #[test]
+    fn prepared_paths_default_matches_infer() {
+        struct Echo;
+        impl Classifier for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn infer(&self, paths: &PathSet) -> Inference {
+                let mut inf = Inference {
+                    classifier: "echo".into(),
+                    ..Default::default()
+                };
+                for link in paths.stats().links() {
+                    inf.rels.insert(*link, Rel::P2p);
+                }
+                inf
+            }
+        }
+        let paths = PathSet::from_paths(vec![asgraph::ObservedPath {
+            vp: Asn(1),
+            path: asgraph::AsPath::new(vec![Asn(1), Asn(2), Asn(3)]),
+        }]);
+        let clean = paths.sanitized();
+        let stats = clean.stats();
+        let via_prep = Echo.infer_prepared(PreparedPaths::new(&clean, &stats));
+        assert_eq!(via_prep.rels, Echo.infer(&clean).rels);
+    }
 
     #[test]
     fn class_counts_and_share() {

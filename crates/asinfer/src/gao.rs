@@ -7,8 +7,8 @@
 //! siblings. Phase 3: links with no transit votes and a bounded degree ratio
 //! become peers.
 
-use crate::common::{Classifier, Inference};
-use asgraph::{Asn, Link, PathSet, Rel};
+use crate::common::{break_provider_cycles_in_rels, Classifier, Inference, PreparedPaths};
+use asgraph::{Asn, Link, PathSet, PathStats, Rel};
 use std::collections::{BTreeMap, HashMap};
 
 /// Tunables for Gao's algorithm.
@@ -52,7 +52,17 @@ impl Classifier for GaoClassifier {
     fn infer(&self, paths: &PathSet) -> Inference {
         let clean = paths.sanitized();
         let stats = clean.stats();
+        self.infer_clean(&clean, &stats)
+    }
 
+    fn infer_prepared(&self, prep: PreparedPaths<'_>) -> Inference {
+        self.infer_clean(prep.paths, prep.stats)
+    }
+}
+
+impl GaoClassifier {
+    /// The heuristic over already-sanitized paths with precomputed stats.
+    fn infer_clean(&self, clean: &PathSet, stats: &PathStats) -> Inference {
         // transit[(provider, customer)] vote counts.
         let mut votes: HashMap<(Asn, Asn), usize> = HashMap::new();
         for op in clean.paths() {
@@ -128,6 +138,10 @@ impl Classifier for GaoClassifier {
             };
             rels.insert(*link, rel);
         }
+
+        // Per-path apex votes can disagree into a provider cycle; repair by
+        // rank order so downstream acyclicity checks hold for Gao too.
+        break_provider_cycles_in_rels(&mut rels, |a| stats.transit_degree(a));
 
         Inference {
             classifier: self.name().to_owned(),

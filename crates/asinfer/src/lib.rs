@@ -43,7 +43,10 @@ pub mod toposcope;
 pub mod unari;
 
 pub use asrank::AsRank;
-pub use common::{Classifier, Inference};
+pub use common::{
+    break_provider_cycles, break_provider_cycles_in_rels, Classifier, CycleBreakReport, Inference,
+    PreparedPaths,
+};
 pub use gao::GaoClassifier;
 pub use problink::ProbLink;
 pub use toposcope::TopoScope;

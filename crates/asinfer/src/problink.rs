@@ -14,9 +14,9 @@
 //! contain fewer links").
 
 use crate::asrank::AsRank;
-use crate::common::{Classifier, Inference};
+use crate::common::{Classifier, Inference, PreparedPaths};
 use crate::features::{compute_features, LinkFeatures, N_BUCKETS};
-use asgraph::{Link, PathSet, Rel, RelClass};
+use asgraph::{Link, PathSet, PathStats, Rel, RelClass};
 use std::collections::{BTreeMap, HashMap};
 
 /// Tunables for ProbLink.
@@ -107,10 +107,27 @@ impl Classifier for ProbLink {
     }
 
     fn infer(&self, paths: &PathSet) -> Inference {
-        let initial = AsRank::new().infer(paths);
         let clean = paths.sanitized();
         let stats = clean.stats();
-        let features = compute_features(&clean, &stats, &initial.clique);
+        let initial = AsRank::new().infer_prepared(PreparedPaths::new(&clean, &stats));
+        self.refine(&clean, &stats, &initial)
+    }
+
+    fn infer_prepared(&self, prep: PreparedPaths<'_>) -> Inference {
+        match prep.asrank {
+            Some(initial) => self.refine(prep.paths, prep.stats, initial),
+            None => {
+                let initial = AsRank::new().infer_prepared(prep);
+                self.refine(prep.paths, prep.stats, &initial)
+            }
+        }
+    }
+}
+
+impl ProbLink {
+    /// Naive-Bayes refinement of the initial (ASRank) labelling.
+    fn refine(&self, clean: &PathSet, stats: &PathStats, initial: &Inference) -> Inference {
+        let features = compute_features(clean, stats, &initial.clique);
 
         let mut labels = initial.rels.clone();
         let n_links = labels.len().max(1);
@@ -163,7 +180,7 @@ impl Classifier for ProbLink {
         Inference {
             classifier: self.name().to_owned(),
             rels: labels,
-            clique: initial.clique,
+            clique: initial.clique.clone(),
         }
     }
 }

@@ -9,9 +9,13 @@
 //! for the paper's evaluation, which scores only observed links.
 
 use crate::asrank::AsRank;
-use crate::common::{Classifier, Inference};
-use asgraph::{Asn, Link, ObservedPath, PathSet, Rel};
+use crate::common::{break_provider_cycles_in_rels, Classifier, Inference, PreparedPaths};
+use asgraph::{Asn, Link, ObservedPath, PathSet, PathStats, Rel};
 use std::collections::{BTreeMap, HashMap};
+
+/// Transit-degree boost applied to clique members during cycle repair, so
+/// an orientation flip can never rank a clique member below a non-member.
+const CLIQUE_TD_BOOST: usize = 1 << 32;
 
 /// Tunables for TopoScope.
 #[derive(Debug, Clone, Copy)]
@@ -53,9 +57,31 @@ impl Classifier for TopoScope {
     }
 
     fn infer(&self, paths: &PathSet) -> Inference {
+        let clean = paths.sanitized();
+        let stats = clean.stats();
+        let full = AsRank::new().infer_prepared(PreparedPaths::new(&clean, &stats));
+        self.reconcile(&clean, &stats, &full)
+    }
+
+    fn infer_prepared(&self, prep: PreparedPaths<'_>) -> Inference {
+        match prep.asrank {
+            Some(full) => self.reconcile(prep.paths, prep.stats, full),
+            None => {
+                let full = AsRank::new().infer_prepared(prep);
+                self.reconcile(prep.paths, prep.stats, &full)
+            }
+        }
+    }
+}
+
+impl TopoScope {
+    /// Ensemble inference over already-sanitized paths: VP grouping,
+    /// per-group base inference (work-stealing parallel — group path sets
+    /// are independent), majority-vote reconciliation against the shared
+    /// full-view inference, and provider-cycle repair.
+    fn reconcile(&self, clean: &PathSet, stats: &PathStats, full: &Inference) -> Inference {
         let base = AsRank::new();
-        let full = base.infer(paths);
-        let vps = paths.vantage_points();
+        let vps = clean.vantage_points();
         let n_groups = self.params.n_groups.clamp(1, vps.len().max(1));
 
         // Deterministic round-robin VP grouping over the sorted VP list.
@@ -64,17 +90,20 @@ impl Classifier for TopoScope {
             group_of.insert(*vp, i % n_groups);
         }
         let mut grouped: Vec<Vec<ObservedPath>> = vec![Vec::new(); n_groups];
-        for op in paths.paths() {
+        for op in clean.paths() {
             if let Some(&g) = group_of.get(&op.vp) {
                 grouped[g].push(op.clone());
             }
         }
 
-        // Per-group inference.
-        let group_results: Vec<Inference> = grouped
-            .into_iter()
-            .map(|paths| base.infer(&PathSet::from_paths(paths)))
-            .collect();
+        // Per-group inference. Groups are already sanitized (subsets of
+        // `clean`), so each worker only derives the group's own statistics.
+        let grouped: Vec<PathSet> = grouped.into_iter().map(PathSet::from_paths).collect();
+        let group_results: Vec<Inference> = breval_par::parallel_map(grouped.len(), |g| {
+            let group = &grouped[g];
+            let group_stats = group.stats();
+            base.infer_prepared(PreparedPaths::new(group, &group_stats))
+        });
 
         // Reconciliation: per-link votes across observing groups.
         let mut rels: BTreeMap<Link, Rel> = BTreeMap::new();
@@ -123,10 +152,23 @@ impl Classifier for TopoScope {
             rels.insert(*link, decided);
         }
 
+        // Majority votes decide each link independently, so the combined
+        // decisions can form a provider cycle even though every per-group
+        // inference is acyclic. Repair by rank order (clique boosted so a
+        // flip never ranks a clique member below a non-member).
+        break_provider_cycles_in_rels(&mut rels, |a| {
+            let boost = if full.clique.contains(&a) {
+                CLIQUE_TD_BOOST
+            } else {
+                0
+            };
+            stats.transit_degree(a) + boost
+        });
+
         Inference {
             classifier: self.name().to_owned(),
             rels,
-            clique: full.clique,
+            clique: full.clique.clone(),
         }
     }
 }

@@ -7,6 +7,7 @@
 //!          fig456 casestudy cleaning hardlinks features
 //!          ablation_ambiguous ablation_sources ablation_legacy ablation_666
 //!          timeline (small-scale, not in "all") calibration verify
+//!          parbench (small-scale, not in "all")
 //!          all                                  (default: all)
 //! ```
 
@@ -99,6 +100,39 @@ struct BenchObs {
     counters: std::collections::BTreeMap<String, u64>,
 }
 
+/// One thread-cap measurement row of the `parbench` target.
+#[derive(serde::Serialize)]
+struct BenchParRow {
+    threads: usize,
+    snapshot_wall_ms: f64,
+    inference_wall_ms: f64,
+    scenario_wall_ms: f64,
+}
+
+/// Parallel-scaling summary written to `BENCH_par.json` at the repository
+/// root: snapshot + inference wall time at several thread caps, plus the
+/// pre-parallel execution model (each classifier standing alone, re-deriving
+/// sanitised paths / statistics / its ASRank seed) as the sequential
+/// baseline.
+#[derive(serde::Serialize)]
+struct BenchPar {
+    name: String,
+    scenario: String,
+    seed: u64,
+    /// Hardware concurrency of the measuring machine — read this before
+    /// interpreting `speedup_threads_n_vs_1` (on a single-core host thread
+    /// scaling is physically flat).
+    hardware_threads: usize,
+    rows: Vec<BenchParRow>,
+    /// Per-stage wall time of the old execution model, measured live.
+    isolated_sequential_ms: std::collections::BTreeMap<String, f64>,
+    /// (isolated sequential snapshot+inference) / (shared-preparation
+    /// pipeline snapshot+inference at the widest thread cap).
+    speedup_snapshot_infer: f64,
+    /// (snapshot+inference at 1 thread) / (same at the widest cap).
+    speedup_threads_n_vs_1: f64,
+}
+
 fn main() {
     // The experiments binary is the primary observability consumer: it
     // records a run manifest by default. Setting BREVAL_OBS explicitly
@@ -121,12 +155,19 @@ fn main() {
         config.topology.total_ases(),
         config.topology.seed
     );
-    // breval-lint: allow(L004) -- CLI wall-clock progress readout only; never feeds experiment results
-    let t0 = std::time::Instant::now();
+    // Wall-clock progress readout comes from the scenario_run span rather
+    // than an ad-hoc timer, so the same number lands in the run manifest.
+    let run_ms_before = breval_obs::span_wall_ms("scenario_run");
     let scenario = Scenario::run(config);
+    let run_ms = breval_obs::span_wall_ms("scenario_run") - run_ms_before;
+    let timing = if breval_obs::enabled() {
+        format!("in {run_ms:.1} ms ")
+    } else {
+        String::new()
+    };
     eprintln!(
-        "scenario ready in {:.1?}: {} observed links, {} validated ({} clean)",
-        t0.elapsed(),
+        "scenario ready {}— {} observed links, {} validated ({} clean)",
+        timing,
         scenario.inferred_links.len(),
         scenario.validation_raw.len(),
         scenario.validation.len()
@@ -268,15 +309,12 @@ fn main() {
                 emit("hardlinks", report::render_hard_links(&hl), None);
             }
             "features" => {
-                let asrank = scenario.inference("asrank").expect("asrank always runs");
-                let rels: std::collections::HashMap<_, _> =
-                    asrank.rels.iter().map(|(l, r)| (*l, *r)).collect();
+                let ppdc = scenario.ppdc_sizes_arc("asrank");
                 let metrics = breval_core::linkfeatures::compute_link_metrics(
                     &scenario.topology,
                     &scenario.snapshot,
-                    &scenario.paths,
                     &scenario.stats,
-                    &rels,
+                    &ppdc,
                 );
                 let scored = scenario.scored("asrank");
                 let mut rows = Vec::new();
@@ -537,6 +575,114 @@ overall: {}
                     ));
                 }
                 emit("calibration_unari", text, None);
+            }
+            "parbench" => {
+                // Parallel-scaling benchmark (small scale regardless of
+                // --small; like `timeline`, excluded from "all"). Re-runs
+                // the scenario at thread caps 1 / 2 / N, reading the
+                // snapshot (`simulate`) and inference (`infer_all`) stages
+                // from span-total deltas so the numbers are the same ones
+                // the run manifest reports. The extra runs accumulate into
+                // the global span totals, which is why deltas — not
+                // absolute totals — are taken.
+                if !breval_obs::enabled() {
+                    eprintln!("parbench needs observability — skipping (BREVAL_OBS=0 set?)");
+                    continue;
+                }
+                let seed = scenario.config.topology.seed;
+                let hardware_threads = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                let mut caps = vec![1usize, 2, hardware_threads];
+                caps.sort_unstable();
+                caps.dedup();
+
+                let mut rows: Vec<BenchParRow> = Vec::new();
+                for &threads in &caps {
+                    breval_par::set_max_threads(Some(threads));
+                    let sim0 = breval_obs::span_wall_ms("scenario_run/simulate");
+                    let inf0 = breval_obs::span_wall_ms("scenario_run/infer_all");
+                    let run0 = breval_obs::span_wall_ms("scenario_run");
+                    let s = Scenario::run(ScenarioConfig::small(seed));
+                    drop(s);
+                    rows.push(BenchParRow {
+                        threads,
+                        snapshot_wall_ms: breval_obs::span_wall_ms("scenario_run/simulate") - sim0,
+                        inference_wall_ms: breval_obs::span_wall_ms("scenario_run/infer_all")
+                            - inf0,
+                        scenario_wall_ms: breval_obs::span_wall_ms("scenario_run") - run0,
+                    });
+                    eprintln!(
+                        "parbench: {} thread(s) → snapshot {:.1} ms, inference {:.1} ms",
+                        threads,
+                        rows.last().map(|r| r.snapshot_wall_ms).unwrap_or(0.0),
+                        rows.last().map(|r| r.inference_wall_ms).unwrap_or(0.0),
+                    );
+                }
+                breval_par::set_max_threads(Some(1));
+
+                // The old execution model, measured live: simulate, then
+                // each classifier standing alone on the raw path set (its
+                // own sanitisation, statistics, and — for the bootstrap
+                // classifiers — its own full ASRank seed), sequentially.
+                let small = ScenarioConfig::small(seed);
+                let topo = topogen::generate(&small.topology);
+                let sim0 = breval_obs::span_wall_ms("simulate");
+                let snap = bgpsim::simulate(&topo);
+                let iso_sim = breval_obs::span_wall_ms("simulate") - sim0;
+                let raw = snap.to_pathset(false);
+                let mut isolated_sequential_ms = std::collections::BTreeMap::new();
+                isolated_sequential_ms.insert("simulate".to_owned(), iso_sim);
+                {
+                    use asinfer::Classifier;
+                    let classifiers: [&dyn Classifier; 4] = [
+                        &asinfer::AsRank::new(),
+                        &asinfer::ProbLink::new(),
+                        &asinfer::TopoScope::new(),
+                        &asinfer::GaoClassifier::new(),
+                    ];
+                    for c in classifiers {
+                        let span = format!("infer_{}", c.name());
+                        let before = breval_obs::span_wall_ms(&span);
+                        let _ = c.infer_observed(&raw);
+                        isolated_sequential_ms
+                            .insert(span.clone(), breval_obs::span_wall_ms(&span) - before);
+                    }
+                }
+                breval_par::set_max_threads(None);
+
+                let iso_total: f64 = isolated_sequential_ms.values().sum();
+                let first = rows.first();
+                let last = rows.last();
+                let combined = |r: &BenchParRow| r.snapshot_wall_ms + r.inference_wall_ms;
+                let speedup_snapshot_infer = last
+                    .map(|r| iso_total / combined(r).max(1e-9))
+                    .unwrap_or(1.0);
+                let speedup_threads_n_vs_1 = match (first, last) {
+                    (Some(a), Some(b)) => combined(a) / combined(b).max(1e-9),
+                    _ => 1.0,
+                };
+                let bench = BenchPar {
+                    name: "parbench".to_owned(),
+                    scenario: "small".to_owned(),
+                    seed,
+                    hardware_threads,
+                    rows,
+                    isolated_sequential_ms,
+                    speedup_snapshot_infer,
+                    speedup_threads_n_vs_1,
+                };
+                let json = serde_json::to_string_pretty(&bench).expect("serializable");
+                let bench_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join("BENCH_par.json");
+                std::fs::write(&bench_path, &json).expect("write BENCH_par.json");
+                eprintln!(
+                    "parbench: speedup vs isolated-sequential {speedup_snapshot_infer:.2}×, \
+                     {hardware_threads}-thread vs 1-thread {speedup_threads_n_vs_1:.2}× \
+                     (hardware threads: {hardware_threads})"
+                );
+                emit("parbench", json, None);
             }
             "timeline" => {
                 // Runs at the small scale regardless of --small: 13 full

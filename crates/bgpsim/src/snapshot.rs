@@ -49,6 +49,12 @@ pub fn simulate(topology: &Topology) -> RibSnapshot {
 }
 
 /// [`simulate`] reusing a pre-built graph.
+///
+/// Per-origin propagation cost is wildly skewed (Tier-1s reach everywhere,
+/// stubs almost nowhere), so origins are distributed over a work-stealing
+/// queue (`breval-par`) instead of static chunks; each worker reuses one
+/// scratch [`Propagator`]. Results are assembled in origin order, so the
+/// observation list is byte-identical at any thread count.
 #[must_use]
 pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot {
     let _span = breval_obs::span!("simulate");
@@ -57,83 +63,65 @@ pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot
         .iter()
         .filter_map(|cp| graph.node(cp.asn).map(|n| (n, *cp)))
         .collect();
-    let origins: Vec<u32> = (0..graph.len() as u32).collect();
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(origins.len().max(1));
-    let chunk_size = origins.len().div_ceil(n_threads).max(1);
 
-    let chunks: Vec<&[u32]> = origins.chunks(chunk_size).collect();
-    let mut per_chunk: Vec<Vec<RouteObservation>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let vps = &vps;
-                s.spawn(move |_| {
-                    let engine = Propagator::new(graph);
-                    let mut out = Vec::new();
-                    for &origin in *chunk {
-                        let asn = graph.asn(origin);
-                        let Some(info) = topology.info(asn) else {
-                            continue;
-                        };
-                        // Group this origin's prefixes by their TE mask so
-                        // each distinct announcement scope propagates once.
-                        let providers = graph.providers(origin);
-                        let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> = Vec::new();
-                        for (i, prefix) in info.prefixes.iter().enumerate() {
-                            let mask = info
-                                .prefix_te
-                                .get(i)
-                                .copied()
-                                .flatten()
-                                .filter(|_| !providers.is_empty())
-                                .map(|k| providers[usize::from(k) % providers.len()].0);
-                            match by_mask.iter_mut().find(|(m, _)| *m == mask) {
-                                Some((_, list)) => list.push(*prefix),
-                                None => by_mask.push((mask, vec![*prefix])),
-                            }
-                        }
-                        if by_mask.is_empty() {
-                            by_mask.push((None, Vec::new()));
-                        }
-                        for (mask, prefixes) in by_mask {
-                            let routes = engine.propagate_masked(origin, mask);
-                            for (vp_node, cp) in vps {
-                                let Some(class) = routes.class(*vp_node) else {
-                                    continue;
-                                };
-                                // Partial feeds export customer routes only.
-                                if !cp.full_feed && class != RouteClass::Customer {
-                                    continue;
-                                }
-                                if let Some(path) = routes.path(*vp_node, graph) {
-                                    for prefix in &prefixes {
-                                        out.push(RouteObservation {
-                                            vp: cp.asn,
-                                            origin: asn,
-                                            prefix: *prefix,
-                                            path: path.clone(),
-                                            class,
-                                        });
-                                    }
-                                }
-                            }
+    let per_origin: Vec<Vec<RouteObservation>> = breval_par::parallel_map_init(
+        graph.len(),
+        || Propagator::new(graph),
+        |engine, origin_idx| {
+            let origin = origin_idx as u32;
+            let asn = graph.asn(origin);
+            let Some(info) = topology.info(asn) else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            // Group this origin's prefixes by their TE mask so each
+            // distinct announcement scope propagates once.
+            let providers = graph.providers(origin);
+            let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> = Vec::new();
+            for (i, prefix) in info.prefixes.iter().enumerate() {
+                let mask = info
+                    .prefix_te
+                    .get(i)
+                    .copied()
+                    .flatten()
+                    .filter(|_| !providers.is_empty())
+                    .map(|k| providers[usize::from(k) % providers.len()].0);
+                match by_mask.iter_mut().find(|(m, _)| *m == mask) {
+                    Some((_, list)) => list.push(*prefix),
+                    None => by_mask.push((mask, vec![*prefix])),
+                }
+            }
+            if by_mask.is_empty() {
+                by_mask.push((None, Vec::new()));
+            }
+            for (mask, prefixes) in by_mask {
+                let routes = engine.propagate_masked(origin, mask);
+                for (vp_node, cp) in &vps {
+                    let Some(class) = routes.class(*vp_node) else {
+                        continue;
+                    };
+                    // Partial feeds export customer routes only.
+                    if !cp.full_feed && class != RouteClass::Customer {
+                        continue;
+                    }
+                    if let Some(path) = routes.path(*vp_node, graph) {
+                        for prefix in &prefixes {
+                            out.push(RouteObservation {
+                                vp: cp.asn,
+                                origin: asn,
+                                prefix: *prefix,
+                                path: path.clone(),
+                                class,
+                            });
                         }
                     }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            per_chunk.push(h.join().expect("propagation worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+                }
+            }
+            out
+        },
+    );
 
-    let observations: Vec<RouteObservation> = per_chunk.into_iter().flatten().collect();
+    let observations: Vec<RouteObservation> = per_origin.into_iter().flatten().collect();
     breval_obs::counter("route_observations", observations.len() as u64);
     RibSnapshot {
         observations,

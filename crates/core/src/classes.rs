@@ -14,6 +14,7 @@ use asgraph::{cone, AsGraph, Asn, Link};
 use asregistry::{RegionMap, RirRegion};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// A regional link class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -79,7 +80,7 @@ pub struct LinkClassifier {
     region_map: RegionMap,
     tier1: BTreeSet<Asn>,
     hypergiants: BTreeSet<Asn>,
-    cone_sizes: HashMap<Asn, usize>,
+    cone_sizes: Arc<HashMap<Asn, usize>>,
 }
 
 impl LinkClassifier {
@@ -96,12 +97,37 @@ impl LinkClassifier {
         tier1: BTreeSet<Asn>,
         hypergiants: BTreeSet<Asn>,
     ) -> Self {
+        Self::with_cone_sizes(
+            region_map,
+            Arc::new(cone::customer_cone_sizes(inferred_graph)),
+            tier1,
+            hypergiants,
+        )
+    }
+
+    /// Builds a classifier around already-computed customer-cone sizes,
+    /// sharing them with the caller instead of re-deriving them from the
+    /// inferred graph (see [`LinkClassifier::new`]).
+    #[must_use]
+    pub fn with_cone_sizes(
+        region_map: RegionMap,
+        cone_sizes: Arc<HashMap<Asn, usize>>,
+        tier1: BTreeSet<Asn>,
+        hypergiants: BTreeSet<Asn>,
+    ) -> Self {
         LinkClassifier {
             region_map,
             tier1,
             hypergiants,
-            cone_sizes: cone::customer_cone_sizes(inferred_graph),
+            cone_sizes,
         }
+    }
+
+    /// Shared handle to the customer-cone sizes backing the Stub/Transit
+    /// split.
+    #[must_use]
+    pub fn cone_sizes_arc(&self) -> Arc<HashMap<Asn, usize>> {
+        Arc::clone(&self.cone_sizes)
     }
 
     /// The service region of an AS.

@@ -21,7 +21,7 @@
 //!     in DESIGN.md,
 //! 12. behaviour of the endpoints (MANRS members vs serial hijackers).
 
-use asgraph::{cone, Asn, Link, PathSet, PathStats, Rel};
+use asgraph::{Asn, Link, PathStats};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -60,15 +60,16 @@ pub struct LinkMetrics {
 
 /// Computes the Appendix C metrics for every observed link.
 ///
-/// `rels` supplies the relationship labelling used for the PPDC cones
-/// (feature 9) — the paper would use the inferred relationships.
+/// `ppdc` supplies the per-AS PPDC cone sizes used for feature 9
+/// ([`asgraph::cone::ppdc_sizes`] over the inferred relationships — the
+/// paper would use the inferred relationships). Passed in precomputed so
+/// callers share one derivation with the rest of the pipeline.
 #[must_use]
 pub fn compute_link_metrics(
     topology: &Topology,
     snapshot: &RibSnapshot,
-    paths: &PathSet,
     stats: &PathStats,
-    rels: &HashMap<Link, Rel>,
+    ppdc: &HashMap<Asn, usize>,
 ) -> HashMap<Link, LinkMetrics> {
     struct Acc {
         vps: HashSet<Asn>,
@@ -107,7 +108,6 @@ pub fn compute_link_metrics(
         }
     }
 
-    let ppdc = cone::ppdc_sizes(paths, rels);
     let rel_diff = |a: usize, b: usize| -> f64 {
         let (a, b) = (a as f64, b as f64);
         (a - b).abs() / a.max(b).max(1.0)
@@ -207,7 +207,7 @@ pub fn error_by_feature_quartile(
 mod tests {
     use super::*;
     use crate::metrics::ScoredLink;
-    use asgraph::RelClass;
+    use asgraph::{cone, Rel, RelClass};
 
     fn world() -> (Topology, RibSnapshot) {
         let topo = topogen::generate(&topogen::TopologyConfig::small(77));
@@ -221,7 +221,8 @@ mod tests {
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
         let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
-        let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
+        let ppdc = cone::ppdc_sizes(&paths, &rels);
+        let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         // Every observed link gets a metric row.
         for link in stats.links().iter().take(500) {
             assert!(metrics.contains_key(link), "{link} missing");
@@ -248,7 +249,8 @@ mod tests {
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
         let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
-        let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
+        let ppdc = cone::ppdc_sizes(&paths, &rels);
+        let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         assert!(!topo.ixps.is_empty(), "generator must emit IXPs");
         // Some observed link connects two co-members of an IXP.
         let some_comember = metrics.values().any(|m| m.common_ixps > 0);
@@ -261,7 +263,8 @@ mod tests {
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
         let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
-        let metrics = compute_link_metrics(&topo, &snap, &paths, &stats, &rels);
+        let ppdc = cone::ppdc_sizes(&paths, &rels);
+        let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         // Score ground truth against itself with a few synthetic errors.
         let scored: Vec<ScoredLink> = stats
             .links()

@@ -8,8 +8,8 @@ use crate::coverage::{coverage_by_class, ClassCoverage};
 use crate::heatmap::{Heatmap, HeatmapConfig};
 use crate::metrics::{EvalTable, ScoredLink};
 use crate::sanitize;
-use asgraph::{cone, AsGraph, Link, PathSet, PathStats};
-use asinfer::{AsRank, Classifier, GaoClassifier, Inference, ProbLink, TopoScope};
+use asgraph::{cone, AsGraph, Asn, Link, PathSet, PathStats};
+use asinfer::{AsRank, Classifier, GaoClassifier, Inference, PreparedPaths, ProbLink, TopoScope};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -56,7 +56,7 @@ impl Default for ScenarioConfig {
             valdata: ValDataConfig::default(),
             cleaning: CleaningConfig::default(),
             min_class_links: 500,
-            include_gao: false,
+            include_gao: true,
             use_all_sources: false,
         }
     }
@@ -99,6 +99,12 @@ pub struct Scenario {
     /// Per-classifier scored-link joins, computed lazily once each
     /// (see [`Scenario::scored_arc`]).
     scored_cache: Mutex<BTreeMap<String, Arc<Vec<ScoredLink>>>>,
+    /// Per-inference customer-cone sizes, computed lazily once each
+    /// (see [`Scenario::cone_sizes_arc`]).
+    cone_cache: Mutex<BTreeMap<String, Arc<HashMap<Asn, usize>>>>,
+    /// Per-inference PPDC cone sizes, computed lazily once each
+    /// (see [`Scenario::ppdc_sizes_arc`]).
+    ppdc_cache: Mutex<BTreeMap<String, Arc<HashMap<Asn, usize>>>>,
 }
 
 impl Scenario {
@@ -126,13 +132,36 @@ impl Scenario {
         };
         let inferred_links: BTreeSet<Link> = stats.links().clone();
 
+        // Inference ensemble. `paths` is already sanitized and `stats`
+        // already derived, so every classifier runs over the shared
+        // preparation; the full-view ASRank result additionally seeds the
+        // bootstrap classifiers (ProbLink, TopoScope). ASRank runs first on
+        // this thread — it is the shared seed — then the remaining
+        // classifiers fan out over the work-stealing pool (one thread each;
+        // `breval_par` degrades to inline execution at a thread cap of 1,
+        // keeping results and span nesting identical either way: workers
+        // adopt this thread's span context, so per-classifier timings land
+        // under `scenario_run/infer_all/...` in the run manifest).
         let mut inferences: BTreeMap<String, Inference> = BTreeMap::new();
-        let asrank = AsRank::new().infer_observed(&paths);
-        inferences.insert("problink".into(), ProbLink::new().infer_observed(&paths));
-        inferences.insert("toposcope".into(), TopoScope::new().infer_observed(&paths));
-        if config.include_gao {
-            inferences.insert("gao".into(), GaoClassifier::new().infer_observed(&paths));
-        }
+        let asrank = {
+            let _span = breval_obs::span!("infer_all");
+            let prep = PreparedPaths::new(&paths, &stats);
+            let asrank = AsRank::new().infer_prepared_observed(prep);
+            let prep = prep.with_asrank(&asrank);
+            let mut names = vec!["problink", "toposcope"];
+            if config.include_gao {
+                names.push("gao");
+            }
+            let results = breval_par::parallel_map(names.len(), |i| match names[i] {
+                "problink" => ProbLink::new().infer_prepared_observed(prep),
+                "toposcope" => TopoScope::new().infer_prepared_observed(prep),
+                _ => GaoClassifier::new().infer_prepared_observed(prep),
+            });
+            for (name, inference) in names.into_iter().zip(results) {
+                inferences.insert(name.into(), inference);
+            }
+            asrank
+        };
 
         let validation_raw = valdata::compile_all(&topology, &snapshot, &config.valdata);
         let org = topology.as2org();
@@ -174,6 +203,13 @@ impl Scenario {
             );
         }
 
+        // The classifier's cone sizes ARE the ASRank cone sizes: seed the
+        // cache so `cone_sizes_arc("asrank")` never re-derives them.
+        let cone_cache = Mutex::new(BTreeMap::from([(
+            "asrank".to_owned(),
+            classifier.cone_sizes_arc(),
+        )]));
+
         Scenario {
             config,
             topology,
@@ -186,7 +222,48 @@ impl Scenario {
             validation,
             classifier,
             scored_cache: Mutex::new(BTreeMap::new()),
+            cone_cache,
+            ppdc_cache: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Customer-cone sizes over the named inference's relationship graph,
+    /// computed at most once per classifier and shared (the ASRank entry is
+    /// pre-seeded from the link classifier's own cones). Unknown names
+    /// yield an empty map.
+    #[must_use]
+    pub fn cone_sizes_arc(&self, classifier_name: &str) -> Arc<HashMap<Asn, usize>> {
+        let mut cache = self.cone_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = cache.get(classifier_name) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(match self.inferences.get(classifier_name) {
+            Some(inference) => cone::customer_cone_sizes(&graph_of(inference)),
+            None => HashMap::new(),
+        });
+        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
+        computed
+    }
+
+    /// PPDC cone sizes (paths × the named inference's relationships),
+    /// computed at most once per classifier and shared. Unknown names yield
+    /// an empty map.
+    #[must_use]
+    pub fn ppdc_sizes_arc(&self, classifier_name: &str) -> Arc<HashMap<Asn, usize>> {
+        let mut cache = self.ppdc_cache.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = cache.get(classifier_name) {
+            return Arc::clone(hit);
+        }
+        let computed = Arc::new(match self.inferences.get(classifier_name) {
+            Some(inference) => {
+                let rels: HashMap<Link, asgraph::Rel> =
+                    inference.rels.iter().map(|(l, r)| (*l, *r)).collect();
+                cone::ppdc_sizes(&self.paths, &rels)
+            }
+            None => HashMap::new(),
+        });
+        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
+        computed
     }
 
     /// The named inference (`"asrank"`, `"problink"`, `"toposcope"`, `"gao"`).
@@ -337,16 +414,9 @@ impl Scenario {
             HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => HeatmapConfig::ppdc(),
             HeatmapMetric::NodeDegree => HeatmapConfig::node_degree(),
         };
-        let ppdc: HashMap<asgraph::Asn, usize> = match metric {
-            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => {
-                let rels: HashMap<Link, asgraph::Rel> = self
-                    .inferences
-                    .get("asrank")
-                    .map(|i| i.rels.iter().map(|(l, r)| (*l, *r)).collect())
-                    .unwrap_or_default();
-                cone::ppdc_sizes(&self.paths, &rels)
-            }
-            _ => HashMap::new(),
+        let ppdc: Arc<HashMap<asgraph::Asn, usize>> = match metric {
+            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => self.ppdc_sizes_arc("asrank"),
+            _ => Arc::new(HashMap::new()),
         };
         let metric_fn = |asn: asgraph::Asn| -> usize {
             match metric {

@@ -214,6 +214,69 @@ macro_rules! span {
     };
 }
 
+/// The slash-joined path of the innermost span active on this thread, if
+/// any. Capture this before spawning workers and hand it to
+/// [`adopt_context`] on each worker so their spans and counters nest under
+/// the submitting stage.
+#[must_use]
+pub fn current_path() -> Option<String> {
+    if !enabled() {
+        return None;
+    }
+    SPAN_STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// RAII guard for an adopted span context (see [`adopt_context`]); pops the
+/// adopted path from this thread's span stack on drop.
+pub struct ContextGuard {
+    path: Option<String>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                    stack.remove(pos);
+                }
+            });
+        }
+    }
+}
+
+/// Adopts `parent` — a span path captured with [`current_path`] on another
+/// thread — as this thread's span context. Unlike [`span`], adoption
+/// records no timing of its own: spans opened under it path-join below
+/// `parent` exactly as if they ran on the submitting thread, and counters
+/// fired while it is innermost attribute to `parent`. No-op when `parent`
+/// is `None` or observability is off.
+#[must_use]
+pub fn adopt_context(parent: Option<&str>) -> ContextGuard {
+    let Some(parent) = parent else {
+        return ContextGuard { path: None };
+    };
+    if !enabled() {
+        return ContextGuard { path: None };
+    }
+    let path = parent.to_owned();
+    SPAN_STACK.with(|s| s.borrow_mut().push(path.clone()));
+    ContextGuard { path: Some(path) }
+}
+
+/// Total wall time recorded so far for the span path `path`, in
+/// milliseconds (0 if the path was never recorded). Reading a delta of this
+/// around a pipeline phase is the sanctioned way for binaries to report
+/// wall-clock without touching `std::time` directly (lint L004).
+#[must_use]
+pub fn span_wall_ms(path: &str) -> f64 {
+    REGISTRY
+        .lock()
+        .spans
+        .get(path)
+        .map_or(0.0, |a| a.total_ns as f64 / 1e6)
+}
+
 /// Adds `delta` to the counter `name`. While a span is active on this
 /// thread, the increment is also attributed to that span's path.
 pub fn counter(name: &str, delta: u64) {
@@ -478,6 +541,58 @@ mod tests {
         // Counters attribute to the innermost active span and to the total.
         assert_eq!(inner.counters.get("widgets"), Some(&5));
         assert_eq!(counter_value("widgets"), 5);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn adopted_context_nests_spans_and_counters_across_threads() {
+        let _t = TEST_LOCK.lock();
+        set_enabled(true);
+        reset();
+        {
+            let _outer = span!("outer");
+            let parent = current_path();
+            assert_eq!(parent.as_deref(), Some("outer"));
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _ctx = adopt_context(parent.as_deref());
+                    let _inner = span!("inner");
+                    counter("widgets", 4);
+                });
+            });
+        }
+        let m = RunManifest::capture("test", 0);
+        let names: Vec<&str> = m.stages.iter().map(|s| s.name.as_str()).collect();
+        // The worker's span nested under the adopted path; adoption itself
+        // recorded no extra stage.
+        assert_eq!(names, vec!["outer", "outer/inner"]);
+        let inner = &m.stages[1];
+        assert_eq!(inner.calls, 1);
+        assert_eq!(inner.counters.get("widgets"), Some(&4));
+        // span_wall_ms reads the recorded accumulations.
+        assert!(span_wall_ms("outer") > 0.0);
+        assert!(span_wall_ms("outer/inner") > 0.0);
+        assert_eq!(span_wall_ms("no_such_path"), 0.0);
+        set_enabled(false);
+    }
+
+    #[test]
+    fn adopt_context_is_inert_when_disabled_or_parentless() {
+        let _t = TEST_LOCK.lock();
+        set_enabled(true);
+        reset();
+        {
+            let _ctx = adopt_context(None);
+            assert_eq!(current_path(), None);
+        }
+        set_enabled(false);
+        {
+            let _ctx = adopt_context(Some("ghost"));
+            let _g = span!("ghost_child");
+        }
+        set_enabled(true);
+        let m = RunManifest::capture("test", 0);
+        assert!(m.stages.is_empty());
         set_enabled(false);
     }
 

@@ -1,0 +1,342 @@
+//! Work-stealing parallel execution for the breval pipeline.
+//!
+//! # Design
+//!
+//! The pipeline's fan-out points (per-origin route propagation, per-AS cone
+//! BFS, per-group ensemble inference) all share one shape: `n` independent
+//! index-addressed work items whose per-item cost varies wildly — a Tier-1's
+//! propagation or cone BFS costs orders of magnitude more than a stub's.
+//! Static chunking serialises the tail behind whichever chunk drew the
+//! expensive items; this module replaces it with a **range-splitting
+//! work-stealing queue**: each worker owns a contiguous index range, pops
+//! from its front, and when empty steals the upper half of the largest
+//! remaining victim range. Stolen ranges stay contiguous, so cache locality
+//! of index-adjacent items survives stealing.
+//!
+//! # Determinism
+//!
+//! [`parallel_map`] returns results **in item-index order** regardless of
+//! thread count or steal interleaving: workers tag each result with its
+//! index and the caller-side assembly places them positionally. Any
+//! computation that is a pure function of its index therefore produces
+//! byte-identical output at 1 and N threads — the property
+//! `tests/determinism.rs` locks in for the whole pipeline.
+//!
+//! # Thread cap
+//!
+//! The worker count is `min(n_items, max_threads())`. [`max_threads`]
+//! resolves, in order: the programmatic override ([`set_max_threads`]), the
+//! `BREVAL_THREADS` environment variable, then
+//! `std::thread::available_parallelism()`. A cap of 1 runs inline on the
+//! calling thread — no spawn, no queue.
+//!
+//! # Observability
+//!
+//! Spawned workers adopt the calling thread's observability span context
+//! (`breval_obs::adopt_context`), so spans and counters fired inside work
+//! items attribute to the pipeline stage that submitted them instead of
+//! dangling at the manifest's top level.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable capping worker threads (`0` or unset = hardware).
+pub const ENV_THREADS: &str = "BREVAL_THREADS";
+
+/// Programmatic override: 0 = unset (fall through to env / hardware).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the number of worker threads for all subsequent parallel calls.
+/// `Some(n)` forces `n` (min 1); `None` clears the override so the
+/// `BREVAL_THREADS` environment variable / hardware default applies again.
+pub fn set_max_threads(n: Option<usize>) {
+    MAX_THREADS.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The current worker-thread cap: programmatic override, else
+/// `BREVAL_THREADS`, else `available_parallelism()` (min 1).
+#[must_use]
+pub fn max_threads() -> usize {
+    let forced = MAX_THREADS.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var(ENV_THREADS) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A work-stealing queue over the index range `0..n`: one contiguous
+/// `[lo, hi)` range per worker; owners pop from the front, thieves split
+/// the upper half of the largest remaining victim range.
+struct StealQueue {
+    ranges: Vec<Mutex<(usize, usize)>>,
+}
+
+impl StealQueue {
+    /// Partitions `0..n` into `workers` near-equal contiguous ranges.
+    fn new(n: usize, workers: usize) -> Self {
+        let per = n / workers;
+        let extra = n % workers;
+        let mut lo = 0;
+        let ranges = (0..workers)
+            .map(|w| {
+                let len = per + usize::from(w < extra);
+                let r = (lo, lo + len);
+                lo += len;
+                Mutex::new(r)
+            })
+            .collect();
+        StealQueue { ranges }
+    }
+
+    /// Pops the next index for worker `me`: front of its own range, else
+    /// the first index of the upper half stolen from the largest victim.
+    fn next(&self, me: usize) -> Option<usize> {
+        {
+            let mut own = lock(&self.ranges[me]);
+            if own.0 < own.1 {
+                let i = own.0;
+                own.0 += 1;
+                return Some(i);
+            }
+        }
+        loop {
+            // Pick the victim with the most remaining work (snapshot; the
+            // steal below re-checks under the victim's lock).
+            let victim = self
+                .ranges
+                .iter()
+                .enumerate()
+                .filter(|(w, _)| *w != me)
+                .map(|(w, r)| {
+                    let r = lock(r);
+                    (r.1.saturating_sub(r.0), w)
+                })
+                .max()
+                .filter(|(remaining, _)| *remaining > 0);
+            let (_, victim) = victim?;
+            let stolen = {
+                let mut v = lock(&self.ranges[victim]);
+                let remaining = v.1.saturating_sub(v.0);
+                if remaining == 0 {
+                    None // lost the race; re-scan
+                } else {
+                    // Keep the lower half with the victim, take the upper.
+                    let mid = v.0 + remaining / 2;
+                    let stolen = (mid, v.1);
+                    v.1 = mid;
+                    Some(stolen)
+                }
+            };
+            if let Some((lo, hi)) = stolen {
+                if lo < hi {
+                    let mut own = lock(&self.ranges[me]);
+                    *own = (lo + 1, hi);
+                    return Some(lo);
+                }
+                // Stole an empty upper half (victim had 1 item left and kept
+                // it in its lower half); retry.
+            }
+        }
+    }
+}
+
+/// Locks a mutex, ignoring poisoning (worker panics propagate via join).
+fn lock(m: &Mutex<(usize, usize)>) -> std::sync::MutexGuard<'_, (usize, usize)> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Applies `f` to every index in `0..n` across the work-stealing worker
+/// pool and returns the results in index order. `f` must be a pure
+/// function of its index for the output to be thread-count independent.
+pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_init(n, || (), |(), i| f(i))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each worker
+/// thread (e.g. to build a scratch propagation engine) and the state is
+/// passed mutably to every item that worker processes. Results are in
+/// index order; for thread-count-independent output, `f`'s result must not
+/// depend on the state's history.
+pub fn parallel_map_init<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = max_threads().min(n);
+    if workers <= 1 {
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+
+    let queue = StealQueue::new(n, workers);
+    let parent = breval_obs::current_path();
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let queue = &queue;
+                let init = &init;
+                let f = &f;
+                let parent = parent.as_deref();
+                s.spawn(move |_| {
+                    let _ctx = breval_obs::adopt_context(parent);
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    while let Some(i) = queue.next(me) {
+                        out.push((i, f(&mut state, i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("breval-par worker panicked"));
+        }
+    })
+    .expect("breval-par scope");
+
+    // Positional assembly restores index order independent of stealing.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, v) in tagged {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// The override is process-global; tests touching it serialise here.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn results_are_in_index_order() {
+        let _t = locked();
+        for threads in [1, 2, 3, 8] {
+            set_max_threads(Some(threads));
+            let out = parallel_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn skewed_workloads_complete_and_stay_ordered() {
+        let _t = locked();
+        set_max_threads(Some(4));
+        // Item 0 is very expensive: static chunking would idle three
+        // workers; stealing must still return everything in order.
+        let out = parallel_map(64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i as u64
+        });
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn init_runs_once_per_worker() {
+        let _t = locked();
+        set_max_threads(Some(3));
+        let inits = AtomicU32::new(0);
+        let out = parallel_map_init(
+            30,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0u32
+            },
+            |scratch, i| {
+                *scratch += 1;
+                i
+            },
+        );
+        assert_eq!(out.len(), 30);
+        assert!(
+            inits.load(Ordering::SeqCst) <= 3,
+            "at most one init per worker"
+        );
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let _t = locked();
+        set_max_threads(Some(4));
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i + 7), vec![7]);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let _t = locked();
+        set_max_threads(Some(16));
+        assert_eq!(parallel_map(3, |i| i), vec![0, 1, 2]);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn cap_override_round_trips() {
+        let _t = locked();
+        set_max_threads(Some(2));
+        assert_eq!(max_threads(), 2);
+        set_max_threads(Some(0)); // clamped to 1
+        assert_eq!(max_threads(), 1);
+        set_max_threads(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn workers_adopt_caller_span_context() {
+        let _t = locked();
+        breval_obs::set_enabled(true);
+        breval_obs::reset();
+        set_max_threads(Some(3));
+        {
+            let _outer = breval_obs::span("sanitize");
+            let _ = parallel_map(12, |i| {
+                breval_obs::counter("paths_sanitized_kept", 1);
+                i
+            });
+        }
+        // All 12 increments attribute to the submitting span's path even
+        // though they ran on worker threads.
+        let m = breval_obs::RunManifest::capture("par-test", 0);
+        let stage = m
+            .stages
+            .iter()
+            .find(|s| s.name == "sanitize")
+            .expect("span recorded");
+        assert_eq!(stage.counters.get("paths_sanitized_kept"), Some(&12));
+        breval_obs::set_enabled(false);
+        set_max_threads(None);
+    }
+}

@@ -17,6 +17,8 @@
 //!   analyses, scenario pipeline and report rendering.
 //! * [`obs`] (= `breval-obs`) — span timers, metrics, and run manifests
 //!   (enabled via the `BREVAL_OBS` environment variable).
+//! * [`par`] (= `breval-par`) — work-stealing parallel execution layer
+//!   (thread cap via `BREVAL_THREADS` / `par::set_max_threads`).
 //!
 //! ## Quickstart
 //!
@@ -38,5 +40,6 @@ pub use bgpsim;
 pub use bgpwire;
 pub use breval_core as analysis;
 pub use breval_obs as obs;
+pub use breval_par as par;
 pub use topogen;
 pub use valdata;

@@ -21,6 +21,36 @@ fn same_seed_same_world() {
     assert_eq!(fa, fb);
 }
 
+/// The work-stealing parallel layer must be invisible in the output: a
+/// forced single-thread run and a forced multi-thread run of the same seed
+/// must produce byte-identical route observations and identical inferences,
+/// for multiple seeds.
+#[test]
+fn parallel_run_matches_single_thread() {
+    for seed in [5u64, 21] {
+        breval::par::set_max_threads(Some(1));
+        let single = Scenario::run(ScenarioConfig::small(seed));
+        breval::par::set_max_threads(Some(4));
+        let multi = Scenario::run(ScenarioConfig::small(seed));
+        breval::par::set_max_threads(None);
+
+        assert_eq!(
+            single.snapshot.observations, multi.snapshot.observations,
+            "seed {seed}: RibSnapshot observations must be byte-identical"
+        );
+        for name in ["asrank", "problink", "toposcope", "gao"] {
+            assert_eq!(
+                single.inference(name).unwrap().rels,
+                multi.inference(name).unwrap().rels,
+                "seed {seed}: {name} inference must not depend on thread count"
+            );
+            let a = serde_json::to_string(&*single.scored_arc(name)).unwrap();
+            let b = serde_json::to_string(&*multi.scored_arc(name)).unwrap();
+            assert_eq!(a, b, "seed {seed}: {name} scored join must match");
+        }
+    }
+}
+
 #[test]
 fn different_seed_different_world() {
     let a = Scenario::run(ScenarioConfig::small(7));

@@ -41,9 +41,11 @@ fn small_scenario_manifest_covers_all_stages() {
         "scenario_run/to_pathset",
         "scenario_run/sanitize",
         "scenario_run/path_stats",
-        "scenario_run/infer_asrank",
-        "scenario_run/infer_problink",
-        "scenario_run/infer_toposcope",
+        "scenario_run/infer_all",
+        "scenario_run/infer_all/infer_asrank",
+        "scenario_run/infer_all/infer_problink",
+        "scenario_run/infer_all/infer_toposcope",
+        "scenario_run/infer_all/infer_gao",
         "scenario_run/compile_validation",
         "scenario_run/clean_validation",
         "scenario_run/link_classifier",
@@ -85,6 +87,10 @@ fn small_scenario_manifest_covers_all_stages() {
         scenario.inference("toposcope").unwrap().rels.len() as u64
     );
     assert_eq!(
+        manifest.counters["rels_assigned.gao"],
+        scenario.inference("gao").unwrap().rels.len() as u64
+    );
+    assert_eq!(
         manifest.counters["route_observations"],
         scenario.snapshot.observations.len() as u64
     );
@@ -93,7 +99,7 @@ fn small_scenario_manifest_covers_all_stages() {
     let asrank_stage = manifest
         .stages
         .iter()
-        .find(|s| s.name == "scenario_run/infer_asrank")
+        .find(|s| s.name == "scenario_run/infer_all/infer_asrank")
         .unwrap();
     assert_eq!(
         asrank_stage.counters["rels_assigned.asrank"],
@@ -102,7 +108,7 @@ fn small_scenario_manifest_covers_all_stages() {
 
     // The manifest serializes to JSON and renders a table.
     let json = manifest.to_json();
-    assert!(json.contains("scenario_run/infer_asrank"));
+    assert!(json.contains("scenario_run/infer_all/infer_asrank"));
     let table = manifest.render_table();
     assert!(table.contains("scenario_run/clean_validation"));
 

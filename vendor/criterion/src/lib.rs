@@ -111,7 +111,11 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, samples: usize, 
         println!("bench {name}: ok (test mode)");
     } else {
         let mean = b.elapsed.as_secs_f64() / b.iters as f64;
-        println!("bench {name}: {:.3} ms/iter ({} iters)", mean * 1e3, b.iters);
+        println!(
+            "bench {name}: {:.3} ms/iter ({} iters)",
+            mean * 1e3,
+            b.iters
+        );
     }
 }
 

@@ -295,7 +295,9 @@ impl Arbitrary for f64 {
 }
 impl Arbitrary for sample::Index {
     fn arbitrary(rng: &mut TestRng) -> Self {
-        sample::Index { raw: rng.next_u64() }
+        sample::Index {
+            raw: rng.next_u64(),
+        }
     }
 }
 
@@ -586,7 +588,9 @@ macro_rules! prop_assert_ne {
             (l, r) => {
                 if *l == *r {
                     return ::std::result::Result::Err(format!(
-                        "assertion failed: `{:?}` != `{:?}`", l, r));
+                        "assertion failed: `{:?}` != `{:?}`",
+                        l, r
+                    ));
                 }
             }
         }

@@ -65,9 +65,9 @@ fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) 
             lo => {
                 if chars.peek() == Some(&'-') {
                     chars.next();
-                    let hi = chars.next().unwrap_or_else(|| {
-                        panic!("dangling '-' in regex strategy {pattern:?}")
-                    });
+                    let hi = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling '-' in regex strategy {pattern:?}"));
                     if hi == ']' {
                         ranges.push((lo, lo));
                         ranges.push(('-', '-'));
@@ -171,7 +171,10 @@ fn parse_pattern(pattern: &str) -> Vec<Piece> {
             },
         };
         let (min, max) = parse_quantifier(&mut chars, pattern);
-        assert!(min <= max, "inverted quantifier in regex strategy {pattern:?}");
+        assert!(
+            min <= max,
+            "inverted quantifier in regex strategy {pattern:?}"
+        );
         pieces.push(Piece { set, min, max });
     }
     pieces
@@ -211,7 +214,9 @@ mod tests {
         for _ in 0..200 {
             let s = "[a-z0-9]{4,12}".generate(&mut rng);
             assert!(s.len() >= 4 && s.len() <= 12);
-            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
         }
     }
 

@@ -36,8 +36,14 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Splits a token list on top-level commas, treating `<`/`>` as nesting
