@@ -19,12 +19,20 @@ pub struct ClassCoverage {
     pub coverage: f64,
 }
 
+/// Links per parallel work item. Fixed (not derived from the thread
+/// count) so the chunk boundaries are identical at any thread count.
+const LINK_CHUNK: usize = 512;
+
 /// Computes per-class shares and coverage.
 ///
 /// * `inferred` — the inferred link set (the topology snapshot under study),
 /// * `validated` — links carrying cleaned validation labels,
 /// * `class_of` — class assignment; links mapping to `None` are discarded
 ///   (reserved endpoints, §5).
+///
+/// Classification is sharded across the worker pool in fixed-size link
+/// chunks; per-chunk class counts are merged by summation, which is
+/// order-independent, so the output is byte-identical at any thread count.
 ///
 /// Returns rows sorted by descending share, as the figures are.
 #[must_use]
@@ -34,21 +42,40 @@ pub fn coverage_by_class<F>(
     class_of: F,
 ) -> Vec<ClassCoverage>
 where
-    F: Fn(Link) -> Option<String>,
+    F: Fn(Link) -> Option<String> + Sync,
 {
+    let _span = breval_obs::span!("coverage_by_class");
+    let links: Vec<Link> = inferred.iter().copied().collect();
+    let chunks = links.len().div_ceil(LINK_CHUNK);
+    let partials = breval_par::parallel_map(chunks, |c| {
+        let lo = c * LINK_CHUNK;
+        let hi = (lo + LINK_CHUNK).min(links.len());
+        let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        let mut classified = 0usize;
+        for link in &links[lo..hi] {
+            let Some(class) = class_of(*link) else {
+                continue;
+            };
+            classified += 1;
+            let entry = per_class.entry(class).or_insert((0, 0));
+            entry.0 += 1;
+            if validated.contains(link) {
+                entry.1 += 1;
+            }
+        }
+        (per_class, classified)
+    });
     let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
     let mut classified_total = 0usize;
-    for link in inferred {
-        let Some(class) = class_of(*link) else {
-            continue;
-        };
-        classified_total += 1;
-        let entry = per_class.entry(class).or_insert((0, 0));
-        entry.0 += 1;
-        if validated.contains(link) {
-            entry.1 += 1;
+    for (partial, classified) in partials {
+        classified_total += classified;
+        for (class, (links, validated)) in partial {
+            let entry = per_class.entry(class).or_insert((0, 0));
+            entry.0 += links;
+            entry.1 += validated;
         }
     }
+    breval_obs::counter("coverage_links_classified", classified_total as u64);
     let mut rows: Vec<ClassCoverage> = per_class
         .into_iter()
         .map(|(class, (links, validated))| ClassCoverage {

@@ -55,6 +55,20 @@ impl HeatmapConfig {
             y_max: 150,
         }
     }
+
+    /// A defensively usable copy: every dimension clamped to at least 1.
+    /// Zero bins would underflow the clamp index (`bins - 1`) and zero max
+    /// would divide by zero in [`bin`]; a degenerate axis collapses to a
+    /// single catch-all bin instead of panicking.
+    #[must_use]
+    pub fn sanitized(self) -> Self {
+        HeatmapConfig {
+            x_bins: self.x_bins.max(1),
+            y_bins: self.y_bins.max(1),
+            x_max: self.x_max.max(1),
+            y_max: self.y_max.max(1),
+        }
+    }
 }
 
 /// A normalised 2D histogram of links.
@@ -68,25 +82,52 @@ pub struct Heatmap {
     pub links: usize,
 }
 
+/// Links per parallel work item in [`Heatmap::build`]. Fixed (not derived
+/// from the thread count) so chunk boundaries are thread-count invariant.
+const LINK_CHUNK: usize = 512;
+
 impl Heatmap {
     /// Builds a heatmap over `links`, reading each endpoint's metric through
-    /// `metric`.
+    /// `metric`. The config is [`HeatmapConfig::sanitized`] first, so
+    /// degenerate axes (zero bins / zero max) yield a 1-bin catch-all axis
+    /// instead of panicking; the stored `config` is the sanitized one.
+    ///
+    /// Binning is sharded across the worker pool in fixed-size link chunks;
+    /// per-chunk bin counts are merged by summation (order-independent), so
+    /// the result is byte-identical at any thread count.
     #[must_use]
     pub fn build<'a, I, F>(links: I, metric: F, config: HeatmapConfig) -> Self
     where
         I: IntoIterator<Item = &'a Link>,
-        F: Fn(Asn) -> usize,
+        F: Fn(Asn) -> usize + Sync,
     {
+        let _span = breval_obs::span!("heatmap_build");
+        let config = config.sanitized();
+        let links: Vec<Link> = links.into_iter().copied().collect();
+        let chunks = links.len().div_ceil(LINK_CHUNK);
+        let partials = breval_par::parallel_map(chunks, |c| {
+            let lo = c * LINK_CHUNK;
+            let hi = (lo + LINK_CHUNK).min(links.len());
+            let mut counts = vec![vec![0usize; config.x_bins]; config.y_bins];
+            for link in &links[lo..hi] {
+                let (ma, mb) = (metric(link.a()), metric(link.b()));
+                let (small, large) = (ma.min(mb), ma.max(mb));
+                let x = bin(large, config.x_max, config.x_bins);
+                let y = bin(small, config.y_max, config.y_bins);
+                counts[y][x] += 1;
+            }
+            counts
+        });
         let mut counts = vec![vec![0usize; config.x_bins]; config.y_bins];
-        let mut total = 0usize;
-        for link in links {
-            let (ma, mb) = (metric(link.a()), metric(link.b()));
-            let (small, large) = (ma.min(mb), ma.max(mb));
-            let x = bin(large, config.x_max, config.x_bins);
-            let y = bin(small, config.y_max, config.y_bins);
-            counts[y][x] += 1;
-            total += 1;
+        for partial in partials {
+            for (row, prow) in counts.iter_mut().zip(partial) {
+                for (cell, pcell) in row.iter_mut().zip(prow) {
+                    *cell += pcell;
+                }
+            }
         }
+        let total = links.len();
+        breval_obs::counter("heatmap_links_binned", total as u64);
         let cells = counts
             .into_iter()
             .map(|row| {
@@ -130,11 +171,20 @@ impl Heatmap {
     }
 }
 
+/// Maps `value` into `0..bins`. Values `>= max` clamp into the last bin —
+/// including the degenerate `max = 0` axis, where every value clamps.
+/// `bins = 0` saturates to bin 0 rather than underflowing (callers go
+/// through [`HeatmapConfig::sanitized`], so both degeneracies are belt-and-
+/// braces here). The product is widened to 128 bits so a pathological
+/// metric near `usize::MAX` cannot overflow `value * bins`.
 fn bin(value: usize, max: usize, bins: usize) -> usize {
+    let last = bins.saturating_sub(1);
     if value >= max {
-        return bins - 1;
+        return last;
     }
-    (value * bins) / max
+    // value < max, so value * bins / max < bins; the cast cannot truncate.
+    let idx = (value as u128 * bins as u128) / max.max(1) as u128;
+    (idx as usize).min(last)
 }
 
 #[cfg(test)]
@@ -198,5 +248,73 @@ mod tests {
         let hm = Heatmap::build(std::iter::empty(), |_| 0, HeatmapConfig::transit_degree());
         assert_eq!(hm.links, 0);
         assert!(hm.cells.iter().flatten().all(|c| *c == 0.0));
+    }
+
+    #[test]
+    fn zero_bins_config_collapses_instead_of_panicking() {
+        let cfg = HeatmapConfig {
+            x_bins: 0,
+            y_bins: 0,
+            x_max: 100,
+            y_max: 100,
+        };
+        let links = [link(1, 2), link(5, 25)];
+        let hm = Heatmap::build(links.iter(), |a| a.0 as usize, cfg);
+        // Sanitization collapses each zero-bin axis to one catch-all bin.
+        assert_eq!((hm.config.x_bins, hm.config.y_bins), (1, 1));
+        assert_eq!(hm.cells.len(), 1);
+        assert_eq!(hm.cells[0].len(), 1);
+        assert!((hm.cells[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_max_config_clamps_everything_to_the_last_bin() {
+        let cfg = HeatmapConfig {
+            x_bins: 4,
+            y_bins: 4,
+            x_max: 0,
+            y_max: 0,
+        };
+        let links = [link(1, 2), link(5, 25), link(7, 9)];
+        let hm = Heatmap::build(links.iter(), |a| a.0 as usize, cfg);
+        // max sanitizes to 1, so every metric >= 1 lands in the top bin;
+        // no divide-by-zero either way.
+        assert_eq!(hm.links, 3);
+        let sum: f64 = hm.cells.iter().flatten().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((hm.cells[3][3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn huge_metric_values_do_not_overflow_binning() {
+        let cfg = HeatmapConfig {
+            x_bins: 10,
+            y_bins: 10,
+            x_max: usize::MAX,
+            y_max: usize::MAX,
+        };
+        let links = [link(1, 2)];
+        // value * bins would overflow usize; the widened arithmetic must
+        // still place usize::MAX - 1 in the top decile.
+        let hm = Heatmap::build(links.iter(), |_| usize::MAX - 1, cfg);
+        assert!((hm.cells[9][9] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_is_total_and_in_range() {
+        for (value, max, bins) in [
+            (0, 0, 0),
+            (5, 0, 4),
+            (5, 10, 0),
+            (usize::MAX, usize::MAX, usize::MAX),
+            (usize::MAX - 1, usize::MAX, 10),
+            (3, 10, 10),
+        ] {
+            let b = bin(value, max, bins);
+            assert!(b <= bins.saturating_sub(1), "bin({value},{max},{bins})={b}");
+        }
+        assert_eq!(bin(3, 10, 10), 3);
+        assert_eq!(bin(9, 10, 10), 9);
+        assert_eq!(bin(10, 10, 10), 9);
     }
 }

@@ -1,17 +1,36 @@
-//! Work-stealing parallel execution for the breval pipeline.
+//! Work-stealing parallel execution for the breval pipeline, backed by a
+//! **persistent worker pool**.
 //!
 //! # Design
 //!
 //! The pipeline's fan-out points (per-origin route propagation, per-AS cone
-//! BFS, per-group ensemble inference) all share one shape: `n` independent
-//! index-addressed work items whose per-item cost varies wildly — a Tier-1's
-//! propagation or cone BFS costs orders of magnitude more than a stub's.
-//! Static chunking serialises the tail behind whichever chunk drew the
-//! expensive items; this module replaces it with a **range-splitting
-//! work-stealing queue**: each worker owns a contiguous index range, pops
-//! from its front, and when empty steals the upper half of the largest
-//! remaining victim range. Stolen ranges stay contiguous, so cache locality
-//! of index-adjacent items survives stealing.
+//! BFS, per-group ensemble inference, per-link classification) all share one
+//! shape: `n` independent index-addressed work items whose per-item cost
+//! varies wildly — a Tier-1's propagation or cone BFS costs orders of
+//! magnitude more than a stub's. Static chunking serialises the tail behind
+//! whichever chunk drew the expensive items; this module replaces it with a
+//! **range-splitting work-stealing queue**: each worker owns a contiguous
+//! index range, pops from its front, and when empty steals the upper half of
+//! the largest remaining victim range. Stolen ranges stay contiguous, so
+//! cache locality of index-adjacent items survives stealing.
+//!
+//! # Pool lifecycle
+//!
+//! Worker threads are spawned **once**, lazily, on the first parallel call
+//! that needs them, and then park on a job channel between calls — a
+//! [`parallel_map`] call submits jobs to the resident workers instead of
+//! spawning threads. The pool is grow-only: raising the thread cap adds
+//! workers, lowering it merely idles the surplus (they stay parked). The
+//! calling thread always participates as worker 0, so a cap of `k` uses the
+//! caller plus at most `k - 1` resident workers. The pool is never torn
+//! down; parked workers are detached at process exit and reaped by the OS.
+//! [`pool_thread_count`] exposes the resident-worker count for tests.
+//!
+//! Nested parallel calls (a work item that itself calls [`parallel_map`],
+//! e.g. TopoScope's per-VP-group fan-out inside the ensemble fan-out) run
+//! **inline** on the worker that hit them. This keeps the pool deadlock-free
+//! (a job never blocks waiting for pool capacity held by its own ancestors)
+//! and costs nothing in coverage: the outer call already saturates the cap.
 //!
 //! # Determinism
 //!
@@ -28,19 +47,22 @@
 //! resolves, in order: the programmatic override ([`set_max_threads`]), the
 //! `BREVAL_THREADS` environment variable, then
 //! `std::thread::available_parallelism()`. A cap of 1 runs inline on the
-//! calling thread — no spawn, no queue.
+//! calling thread — no submission, no queue.
 //!
 //! # Observability
 //!
-//! Spawned workers adopt the calling thread's observability span context
-//! (`breval_obs::adopt_context`), so spans and counters fired inside work
-//! items attribute to the pipeline stage that submitted them instead of
-//! dangling at the manifest's top level.
+//! Workers adopt the calling thread's observability span context
+//! (`breval_obs::adopt_context`) for the duration of each submission, so
+//! spans and counters fired inside work items attribute to the pipeline
+//! stage that submitted them instead of dangling at the manifest's top
+//! level. The adoption guard is scoped to the submission: a parked worker
+//! carries no stale context into the next call.
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable capping worker threads (`0` or unset = hardware).
 pub const ENV_THREADS: &str = "BREVAL_THREADS";
@@ -51,6 +73,8 @@ static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 /// Caps the number of worker threads for all subsequent parallel calls.
 /// `Some(n)` forces `n` (min 1); `None` clears the override so the
 /// `BREVAL_THREADS` environment variable / hardware default applies again.
+/// Lowering the cap idles surplus resident pool workers but never joins
+/// them (the pool is grow-only).
 pub fn set_max_threads(n: Option<usize>) {
     MAX_THREADS.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
 }
@@ -71,6 +95,55 @@ pub fn max_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide resident pool. Spawned lazily and never dropped:
+/// parked workers are detached at process exit.
+static POOL: OnceLock<scoped_threadpool::Pool> = OnceLock::new();
+
+/// Returns the resident pool, grown to at least `threads` workers.
+fn resident_pool(threads: usize) -> &'static scoped_threadpool::Pool {
+    let pool = POOL.get_or_init(|| scoped_threadpool::Pool::new(0));
+    pool.ensure_threads(u32::try_from(threads).unwrap_or(u32::MAX));
+    pool
+}
+
+/// Number of resident pool worker threads spawned so far (the calling
+/// thread, which participates as worker 0, is not counted).
+#[must_use]
+pub fn pool_thread_count() -> usize {
+    POOL.get().map_or(0, |p| p.thread_count() as usize)
+}
+
+thread_local! {
+    /// True while this thread is executing work items of a parallel call —
+    /// nested calls detect it and run inline instead of re-submitting.
+    static IN_PARALLEL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII entry into "executing parallel work items" state; restores the
+/// previous flag on drop so a worker parked after a job is clean.
+struct NestedGuard {
+    prev: bool,
+}
+
+impl NestedGuard {
+    fn enter() -> NestedGuard {
+        NestedGuard {
+            prev: IN_PARALLEL.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for NestedGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_PARALLEL.with(|c| c.set(prev));
+    }
+}
+
+fn is_nested() -> bool {
+    IN_PARALLEL.with(Cell::get)
 }
 
 /// A work-stealing queue over the index range `0..n`: one contiguous
@@ -99,6 +172,9 @@ impl StealQueue {
 
     /// Pops the next index for worker `me`: front of its own range, else
     /// the first index of the upper half stolen from the largest victim.
+    /// A steal always yields at least one item — with `remaining >= 1`,
+    /// `mid = lo + remaining / 2 < hi`, so a thief takes a victim's last
+    /// item rather than leaving it behind.
     fn next(&self, me: usize) -> Option<usize> {
         {
             let mut own = lock(&self.ranges[me]);
@@ -127,9 +203,10 @@ impl StealQueue {
                 let mut v = lock(&self.ranges[victim]);
                 let remaining = v.1.saturating_sub(v.0);
                 if remaining == 0 {
-                    None // lost the race; re-scan
+                    None // lost the race to another thief
                 } else {
-                    // Keep the lower half with the victim, take the upper.
+                    // Keep the lower half with the victim, take the upper
+                    // (non-empty: mid < hi whenever remaining >= 1).
                     let mid = v.0 + remaining / 2;
                     let stolen = (mid, v.1);
                     v.1 = mid;
@@ -137,26 +214,29 @@ impl StealQueue {
                 }
             };
             if let Some((lo, hi)) = stolen {
-                if lo < hi {
-                    let mut own = lock(&self.ranges[me]);
-                    *own = (lo + 1, hi);
-                    return Some(lo);
-                }
-                // Stole an empty upper half (victim had 1 item left and kept
-                // it in its lower half); retry.
+                debug_assert!(lo < hi, "a successful steal is never empty");
+                let mut own = lock(&self.ranges[me]);
+                *own = (lo + 1, hi);
+                return Some(lo);
             }
+            // Lost the race: another thief emptied the snapshot's largest
+            // victim first. Yield before re-scanning so draining the final
+            // items doesn't degenerate into hot-spinning thieves locking
+            // every range per iteration.
+            std::thread::yield_now();
         }
     }
 }
 
-/// Locks a mutex, ignoring poisoning (worker panics propagate via join).
-fn lock(m: &Mutex<(usize, usize)>) -> std::sync::MutexGuard<'_, (usize, usize)> {
+/// Locks a mutex, ignoring poisoning (worker panics propagate via the
+/// scope's panic slot).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-/// Applies `f` to every index in `0..n` across the work-stealing worker
-/// pool and returns the results in index order. `f` must be a pure
-/// function of its index for the output to be thread-count independent.
+/// Applies `f` to every index in `0..n` across the resident worker pool
+/// and returns the results in index order. `f` must be a pure function of
+/// its index for the output to be thread-count independent.
 pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -166,10 +246,10 @@ where
 }
 
 /// [`parallel_map`] with per-worker state: `init` runs once on each worker
-/// thread (e.g. to build a scratch propagation engine) and the state is
-/// passed mutably to every item that worker processes. Results are in
-/// index order; for thread-count-independent output, `f`'s result must not
-/// depend on the state's history.
+/// that participates in this call (e.g. to build a scratch propagation
+/// engine) and the state is passed mutably to every item that worker
+/// processes. Results are in index order; for thread-count-independent
+/// output, `f`'s result must not depend on the state's history.
 pub fn parallel_map_init<S, T, I, F>(n: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
@@ -180,47 +260,112 @@ where
         return Vec::new();
     }
     let workers = max_threads().min(n);
-    if workers <= 1 {
+    if workers <= 1 || is_nested() {
+        // Single-threaded cap, or already inside a parallel work item:
+        // run inline on this thread (no submission, no queue).
+        let _nested = NestedGuard::enter();
         let mut state = init();
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     let queue = StealQueue::new(n, workers);
     let parent = breval_obs::current_path();
-    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
-    crossbeam::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|me| {
-                let queue = &queue;
-                let init = &init;
-                let f = &f;
-                let parent = parent.as_deref();
-                s.spawn(move |_| {
-                    let _ctx = breval_obs::adopt_context(parent);
-                    let mut state = init();
-                    let mut out = Vec::new();
-                    while let Some(i) = queue.next(me) {
-                        out.push((i, f(&mut state, i)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        for h in handles {
-            tagged.extend(h.join().expect("breval-par worker panicked"));
+    // One result bucket per worker: each worker locks only its own bucket,
+    // so there is no cross-worker contention on the results.
+    let buckets: Vec<Mutex<Vec<(usize, T)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+
+    let run_worker = |me: usize| {
+        let _nested = NestedGuard::enter();
+        let _ctx = breval_obs::adopt_context(parent.as_deref());
+        let mut state = init();
+        let mut out = Vec::new();
+        while let Some(i) = queue.next(me) {
+            out.push((i, f(&mut state, i)));
         }
-    })
-    .expect("breval-par scope");
+        *lock(&buckets[me]) = out;
+    };
+
+    // The pool supplies `workers - 1` jobs; the caller drains worker 0's
+    // range itself (and steals the rest if the pool is busy elsewhere), so
+    // the call makes progress even with zero free resident workers.
+    let pool = resident_pool(workers - 1);
+    pool.scoped(|scope| {
+        let run_worker = &run_worker;
+        for me in 1..workers {
+            scope.execute(move || run_worker(me));
+        }
+        run_worker(0);
+    });
 
     // Positional assembly restores index order independent of stealing.
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, v) in tagged {
-        slots[i] = Some(v);
+    for bucket in buckets {
+        for (i, v) in lock(&bucket).drain(..) {
+            slots[i] = Some(v);
+        }
     }
     slots
         .into_iter()
         .map(|s| s.expect("every index processed exactly once"))
         .collect()
+}
+
+pub mod baseline {
+    //! Spawn-per-call reference implementation, kept solely so
+    //! `experiments parbench` can measure the resident pool's per-call
+    //! overhead win against the old behaviour. Not used by the pipeline.
+
+    use super::{max_threads, StealQueue};
+
+    /// The pre-pool [`parallel_map`](super::parallel_map): identical
+    /// work-stealing queue and index-ordered assembly, but spawns fresh
+    /// worker threads via `crossbeam::scope` on every call.
+    pub fn parallel_map_spawn<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = max_threads().min(n);
+        if workers <= 1 {
+            return (0..n).map(&f).collect();
+        }
+        let queue = StealQueue::new(n, workers);
+        let parent = breval_obs::current_path();
+        let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+        crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|me| {
+                    let queue = &queue;
+                    let f = &f;
+                    let parent = parent.as_deref();
+                    s.spawn(move |_| {
+                        let _ctx = breval_obs::adopt_context(parent);
+                        let mut out = Vec::new();
+                        while let Some(i) = queue.next(me) {
+                            out.push((i, f(i)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                tagged.extend(h.join().expect("breval-par baseline worker panicked"));
+            }
+        })
+        .expect("breval-par baseline scope");
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        for (i, v) in tagged {
+            slots[i] = Some(v);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index processed exactly once"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +457,65 @@ mod tests {
         assert_eq!(max_threads(), 1);
         set_max_threads(None);
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_is_reused_across_calls() {
+        let _t = locked();
+        set_max_threads(Some(3));
+        let _ = parallel_map(32, |i| i);
+        let after_first = pool_thread_count();
+        assert!(after_first >= 2, "cap 3 needs >= 2 resident workers");
+        for _ in 0..5 {
+            let _ = parallel_map(32, |i| i * 2);
+        }
+        assert_eq!(
+            pool_thread_count(),
+            after_first,
+            "consecutive calls must reuse parked workers, not spawn"
+        );
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn nested_calls_run_inline_and_stay_ordered() {
+        let _t = locked();
+        set_max_threads(Some(4));
+        let out = parallel_map(8, |i| {
+            // Inner call runs inline on whichever worker owns item i.
+            let inner = parallel_map(4, move |j| i * 10 + j);
+            assert_eq!(inner, (0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..8).map(|i| (0..4).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(out, expect);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let _t = locked();
+        set_max_threads(Some(4));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(16, |i| {
+                assert!(i != 9, "injected failure");
+                i
+            })
+        }));
+        assert!(r.is_err(), "a panicking work item must fail the call");
+        // The pool survives the panic and keeps serving.
+        assert_eq!(parallel_map(4, |i| i), vec![0, 1, 2, 3]);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn baseline_spawn_map_matches_pool_map() {
+        let _t = locked();
+        set_max_threads(Some(4));
+        let pool = parallel_map(50, |i| i * 3);
+        let spawn = baseline::parallel_map_spawn(50, |i| i * 3);
+        assert_eq!(pool, spawn);
+        set_max_threads(None);
     }
 
     #[test]

@@ -27,7 +27,117 @@ fn det_hash(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Observations per parallel work item in [`compile_communities`]. Fixed
+/// (not derived from the thread count) so the chunk boundaries — and with
+/// them the merged label order — are identical at any thread count.
+const OBS_CHUNK: usize = 256;
+
+/// Shared read-only inputs of the per-observation decoding loop.
+struct DecodeContext<'a> {
+    topology: &'a Topology,
+    cfg: &'a ValDataConfig,
+    publishers: BTreeSet<Asn>,
+    stale_dicts: BTreeSet<Asn>,
+    two_byte_vps: BTreeSet<Asn>,
+}
+
+/// Decodes one observation's communities into `(link, rel)` labels, in the
+/// order the sequential loop would have produced them.
+fn decode_observation(
+    ctx: &DecodeContext<'_>,
+    obs: &bgpsim::RouteObservation,
+    out: &mut Vec<(Link, Rel)>,
+) {
+    // The decoding pipeline sees the path as extracted from MRT data:
+    // modern view normally, legacy view (AS_TRANS substituted) for
+    // 16-bit collector sessions when the legacy pipeline is active.
+    let legacy = ctx.cfg.legacy_pipeline && ctx.two_byte_vps.contains(&obs.vp);
+    let mut hops: Vec<Asn> = if legacy {
+        obs.path
+            .iter()
+            .map(|a| if a.is_four_byte() { AS_TRANS } else { *a })
+            .collect()
+    } else {
+        obs.path.clone()
+    };
+    hops.dedup();
+
+    // Communities travel on the wire unaffected by the AS_PATH encoding.
+    let communities = bgpsim::communities::collector_communities(ctx.topology, &obs.path);
+    for community in communities {
+        let tagger = Asn(community.asn_part());
+        if !ctx.publishers.contains(&tagger) {
+            // 16-bit alias check: a classic community's AS part could
+            // belong to a *publishing* 16-bit AS even though the tagger
+            // was someone else — we only decode documented values, so
+            // nothing happens here unless the value also matches, which
+            // the per-AS schemes make rare.
+            continue;
+        }
+        let scheme = scheme_of(tagger);
+        let value = match community {
+            AnyCommunity::Classic(c) => u32::from(c.value),
+            AnyCommunity::Large(lc) => lc.local2,
+        };
+        let Ok(value16) = u16::try_from(value) else {
+            continue;
+        };
+        // The 3356:666 ambiguity (§3.2): value 666 doubles as the
+        // informal blackhole convention. A conservative pipeline skips
+        // it even when the dictionary defines it.
+        if ctx.cfg.skip_666_as_blackhole && value16 == 666 {
+            continue;
+        }
+        let Some(mut ingress) = scheme.decode(value16) else {
+            continue;
+        };
+        // Stale documentation: peer value documented as customer.
+        if ctx.stale_dicts.contains(&tagger) && ingress == IngressRel::Peer {
+            ingress = IngressRel::Customer;
+        }
+        // Locate the tagger on the (pipeline-visible) path and find the
+        // neighbor it learned the route from.
+        let Some(pos) = hops.iter().position(|h| *h == tagger) else {
+            continue; // tagger hidden behind AS_TRANS in the legacy view
+        };
+        let Some(&neighbor) = hops.get(pos + 1) else {
+            continue;
+        };
+        let Some(link) = Link::new(tagger, neighbor) else {
+            continue;
+        };
+        let mut rel = match ingress {
+            IngressRel::Customer => Rel::P2c { provider: tagger },
+            IngressRel::Peer => Rel::P2p,
+            IngressRel::Provider => Rel::P2c { provider: neighbor },
+        };
+        // Hybrid links: a share of observations reflects the minority
+        // PoP's relationship, producing genuinely ambiguous multi-label
+        // entries. Deterministic per (link, vp, origin) — which PoP a
+        // route crosses varies per prefix.
+        if let Some(gt) = ctx.topology.gt_rel(link) {
+            if let Some(alt) = gt.hybrid_alt {
+                let flip = det_hash(
+                    ctx.cfg.seed ^ 0x4879,
+                    u64::from(link.a().0) << 32 | u64::from(link.b().0),
+                    u64::from(obs.vp.0) << 32 | u64::from(obs.origin.0),
+                ) % 10_000
+                    < (ctx.cfg.hybrid_minority_share * 10_000.0) as u64;
+                if flip {
+                    rel = alt;
+                }
+            }
+        }
+        out.push((link, rel));
+    }
+}
+
 /// Compiles community-based validation labels from a RIB snapshot.
+///
+/// The per-observation decoding is sharded across the worker pool in
+/// fixed-size chunks; merging the chunk label lists in chunk order makes
+/// the resulting set byte-identical to a sequential pass at any thread
+/// count (the set's per-link record order follows insertion order).
 #[must_use]
 pub fn compile_communities(
     topology: &Topology,
@@ -62,93 +172,33 @@ pub fn compile_communities(
         .map(|cp| cp.asn)
         .collect();
 
-    for obs in &snapshot.observations {
-        // The decoding pipeline sees the path as extracted from MRT data:
-        // modern view normally, legacy view (AS_TRANS substituted) for
-        // 16-bit collector sessions when the legacy pipeline is active.
-        let legacy = cfg.legacy_pipeline && two_byte_vps.contains(&obs.vp);
-        let mut hops: Vec<Asn> = if legacy {
-            obs.path
-                .iter()
-                .map(|a| if a.is_four_byte() { AS_TRANS } else { *a })
-                .collect()
-        } else {
-            obs.path.clone()
-        };
-        hops.dedup();
-
-        // Communities travel on the wire unaffected by the AS_PATH encoding.
-        let communities = bgpsim::communities::collector_communities(topology, &obs.path);
-        for community in communities {
-            let tagger = Asn(community.asn_part());
-            if !publishers.contains(&tagger) {
-                // 16-bit alias check: a classic community's AS part could
-                // belong to a *publishing* 16-bit AS even though the tagger
-                // was someone else — we only decode documented values, so
-                // nothing happens here unless the value also matches, which
-                // the per-AS schemes make rare.
-                continue;
-            }
-            let scheme = scheme_of(tagger);
-            let value = match community {
-                AnyCommunity::Classic(c) => u32::from(c.value),
-                AnyCommunity::Large(lc) => lc.local2,
-            };
-            let Ok(value16) = u16::try_from(value) else {
-                continue;
-            };
-            // The 3356:666 ambiguity (§3.2): value 666 doubles as the
-            // informal blackhole convention. A conservative pipeline skips
-            // it even when the dictionary defines it.
-            if cfg.skip_666_as_blackhole && value16 == 666 {
-                continue;
-            }
-            let Some(mut ingress) = scheme.decode(value16) else {
-                continue;
-            };
-            // Stale documentation: peer value documented as customer.
-            if stale_dicts.contains(&tagger) && ingress == IngressRel::Peer {
-                ingress = IngressRel::Customer;
-            }
-            // Locate the tagger on the (pipeline-visible) path and find the
-            // neighbor it learned the route from.
-            let Some(pos) = hops.iter().position(|h| *h == tagger) else {
-                continue; // tagger hidden behind AS_TRANS in the legacy view
-            };
-            let Some(&neighbor) = hops.get(pos + 1) else {
-                continue;
-            };
-            let Some(link) = Link::new(tagger, neighbor) else {
-                continue;
-            };
-            let mut rel = match ingress {
-                IngressRel::Customer => Rel::P2c { provider: tagger },
-                IngressRel::Peer => Rel::P2p,
-                IngressRel::Provider => Rel::P2c { provider: neighbor },
-            };
-            // Hybrid links: a share of observations reflects the minority
-            // PoP's relationship, producing genuinely ambiguous multi-label
-            // entries. Deterministic per (link, vp, origin) — which PoP a
-            // route crosses varies per prefix.
-            if let Some(gt) = topology.gt_rel(link) {
-                if let Some(alt) = gt.hybrid_alt {
-                    let flip = det_hash(
-                        cfg.seed ^ 0x4879,
-                        u64::from(link.a().0) << 32 | u64::from(link.b().0),
-                        u64::from(obs.vp.0) << 32 | u64::from(obs.origin.0),
-                    ) % 10_000
-                        < (cfg.hybrid_minority_share * 10_000.0) as u64;
-                    if flip {
-                        rel = alt;
-                    }
-                }
-            }
+    let ctx = DecodeContext {
+        topology,
+        cfg,
+        publishers,
+        stale_dicts,
+        two_byte_vps,
+    };
+    let observations = &snapshot.observations;
+    let chunks = observations.len().div_ceil(OBS_CHUNK);
+    let chunk_labels = breval_par::parallel_map(chunks, |c| {
+        let lo = c * OBS_CHUNK;
+        let hi = (lo + OBS_CHUNK).min(observations.len());
+        let mut out = Vec::new();
+        for obs in &observations[lo..hi] {
+            decode_observation(&ctx, obs, &mut out);
+        }
+        out
+    });
+    for labels in chunk_labels {
+        for (link, rel) in labels {
             set.add(link, rel, LabelSource::Communities);
         }
     }
 
     // Private-ASN route leaks: labels whose neighbor is a reserved ASN.
-    let publisher_vec: Vec<Asn> = publishers.iter().copied().collect();
+    // Stays sequential: the injection consumes the RNG stream in order.
+    let publisher_vec: Vec<Asn> = ctx.publishers.iter().copied().collect();
     let mut injected = 0usize;
     while injected < cfg.reserved_leak_count && !publisher_vec.is_empty() {
         let tagger = publisher_vec[rng.random_range(0..publisher_vec.len())];

@@ -1,5 +1,5 @@
 //! Workspace walker: applies the rules in [`crate::rules`] to every Rust
-//! source and crate manifest in the repository.
+//! source, crate manifest, and CI workflow definition in the repository.
 
 use crate::lexer;
 use crate::rules::{self, FileContext, FileKind, Violation};
@@ -51,6 +51,18 @@ pub fn workspace_manifests(root: &Path) -> Vec<PathBuf> {
     out
 }
 
+/// All GitHub workflow definitions checked by L007:
+/// `.github/workflows/*.yml` / `*.yaml`.
+#[must_use]
+pub fn workspace_workflows(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let dir = root.join(".github").join("workflows");
+    collect_files(&dir, "yml", &mut out);
+    collect_files(&dir, "yaml", &mut out);
+    out.sort();
+    out
+}
+
 /// `true` if `path` is the root file of a crate target (lib, main, or a
 /// `src/bin/` binary) and must therefore carry `#![forbid(unsafe_code)]`.
 fn is_crate_root(rel: &Path) -> bool {
@@ -93,6 +105,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         let content = fs::read_to_string(&path)?;
         out.extend(rules::check_l006(&rel, &content));
     }
+    for path in workspace_workflows(root) {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let content = fs::read_to_string(&path)?;
+        out.extend(rules::check_l007(&rel, &content));
+    }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(out)
 }
@@ -119,10 +136,10 @@ pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> std::io::Result<Vec<Violati
             rel = PathBuf::from("crates/fixture/src/lib.rs");
         }
         let content = fs::read_to_string(&abs)?;
-        if abs.extension().and_then(|e| e.to_str()) == Some("toml") {
-            out.extend(rules::check_l006(&rel, &content));
-        } else {
-            out.extend(lint_source(&rel, &content, &registry));
+        match abs.extension().and_then(|e| e.to_str()) {
+            Some("toml") => out.extend(rules::check_l006(&rel, &content)),
+            Some("yml" | "yaml") => out.extend(rules::check_l007(&rel, &content)),
+            _ => out.extend(lint_source(&rel, &content, &registry)),
         }
     }
     Ok(out)

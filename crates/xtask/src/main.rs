@@ -1,6 +1,6 @@
 //! Command-line driver: `cargo run -p xtask -- <lint|sanitize>`.
 //!
-//! * `lint [files…]` — run the L001–L006 project lints over the whole
+//! * `lint [files…]` — run the L001–L007 project lints over the whole
 //!   workspace (default) or an explicit file list; exit 1 on any violation.
 //! * `sanitize [--seed N]` — run a small end-to-end scenario and check every
 //!   domain invariant in `breval_core::sanitize`, then cross-check the

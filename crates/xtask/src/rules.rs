@@ -1,4 +1,4 @@
-//! The project lint rules (L001–L006) and the malformed-pragma check (L000).
+//! The project lint rules (L001–L007) and the malformed-pragma check (L000).
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -9,6 +9,7 @@
 //! | L004 | no `std::time` (`Instant`/`SystemTime`) outside `crates/obs` |
 //! | L005 | no `println!`/`eprintln!` in library code (`report.rs` exempt) |
 //! | L006 | crate dependencies resolve through `[workspace.dependencies]` |
+//! | L007 | every workflow `uses:` pins an exact version (tag or commit SHA) |
 //!
 //! All source rules honour the waiver pragma
 //! `// breval-lint: allow(L00X) -- <reason>` on the offending line or the
@@ -354,6 +355,56 @@ pub fn check_l006(path: &Path, toml_text: &str) -> Vec<Violation> {
     out
 }
 
+/// `true` if a workflow `@ref` is an exact pin: a 40-hex commit SHA or a
+/// fully qualified release tag (`v1.2.3` / `1.2.3` — at least three numeric
+/// components, optional leading `v`).
+fn exact_action_ref(r: &str) -> bool {
+    if r.len() == 40 && r.chars().all(|c| c.is_ascii_hexdigit()) {
+        return true;
+    }
+    let parts: Vec<&str> = r.strip_prefix('v').unwrap_or(r).split('.').collect();
+    parts.len() >= 3
+        && parts
+            .iter()
+            .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+}
+
+/// L007 — every `uses:` in a GitHub workflow must pin an exact version:
+/// a full release tag (`@v4.2.2`) or a 40-hex commit SHA. Floating majors
+/// (`@v4`), branch refs (`@main`), or missing refs let the action drift
+/// under the workflow silently. Local composite actions (`./…`) are exempt
+/// — they version with the repository itself.
+#[must_use]
+pub fn check_l007(path: &Path, yaml_text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, raw) in yaml_text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let line = line.strip_prefix("- ").unwrap_or(line).trim();
+        let Some(rest) = line.strip_prefix("uses:") else {
+            continue;
+        };
+        let action = rest.trim().trim_matches(|c| c == '"' || c == '\'');
+        if action.starts_with("./") {
+            continue;
+        }
+        let pinned = action
+            .rsplit_once('@')
+            .is_some_and(|(_, r)| exact_action_ref(r));
+        if !pinned {
+            out.push(Violation {
+                file: path.to_string_lossy().into_owned(),
+                line: i + 1,
+                rule: "L007",
+                message: format!(
+                    "workflow action `{action}` is not pinned to an exact version — \
+                     use `@vX.Y.Z` or a 40-hex commit SHA"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -441,6 +492,23 @@ mod tests {
             check_l002(Path::new("crates/foo/src/lib.rs"), &bad).len(),
             1
         );
+    }
+
+    #[test]
+    fn l007_requires_exact_action_pins() {
+        let path = Path::new(".github/workflows/ci.yml");
+        let good = "jobs:\n  build:\n    steps:\n      - uses: actions/checkout@v4.2.2\n      \
+                    - uses: dtolnay/rust-toolchain@1.95.0\n      \
+                    - uses: foo/bar@0123456789abcdef0123456789abcdef01234567 # v2\n      \
+                    - uses: ./.github/actions/local-setup\n      \
+                    - uses: \"Swatinem/rust-cache@v2.7.8\"\n";
+        assert!(check_l007(path, good).is_empty());
+        let bad = "steps:\n  - uses: actions/checkout@v4\n  - uses: foo/bar@main\n  \
+                   - uses: baz/qux\n  - uses: a/b@1.2\n  - uses: c/d@deadbeef\n";
+        let v = check_l007(path, bad);
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().all(|x| x.rule == "L007"));
+        assert!(v[0].message.contains("actions/checkout@v4"));
     }
 
     #[test]

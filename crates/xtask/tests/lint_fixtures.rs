@@ -1,4 +1,4 @@
-//! Fixture-driven end-to-end tests of the L001–L006 project lints.
+//! Fixture-driven end-to-end tests of the L001–L007 project lints.
 //!
 //! Each rule has a violating and a clean fixture under `tests/fixtures/`.
 //! Fixtures are read as *content* and linted under a synthetic library-crate
@@ -8,7 +8,7 @@
 use breval_obs::LabelRegistry;
 use std::path::Path;
 use xtask::lint::lint_source;
-use xtask::rules::{check_l006, Violation};
+use xtask::rules::{check_l006, check_l007, Violation};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -137,6 +137,24 @@ fn l006_local_deps_flagged_and_workspace_deps_pass() {
 }
 
 #[test]
+fn l007_unpinned_actions_flagged_and_exact_pins_pass() {
+    let bad = check_l007(
+        Path::new(".github/workflows/ci.yml"),
+        &fixture("l007_violate.yml"),
+    );
+    assert_eq!(
+        bad.iter().filter(|v| v.rule == "L007").count(),
+        5,
+        "major tag, branch, no ref, short version, branch: {bad:?}"
+    );
+    let clean = check_l007(
+        Path::new(".github/workflows/ci.yml"),
+        &fixture("l007_clean.yml"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn lint_paths_flags_violating_fixtures_and_passes_clean_ones() {
     // The CLI path (`cargo run -p xtask -- lint <file>`): violating fixtures
     // must produce violations (exit 1), clean ones none (exit 0).
@@ -158,6 +176,7 @@ fn lint_paths_flags_violating_fixtures_and_passes_clean_ones() {
         "l004_violate.rs",
         "l005_violate.rs",
         "l006_violate.toml",
+        "l007_violate.yml",
     ];
     for name in violating {
         let v = xtask::lint::lint_paths(&root, &[fixture_rel(name)]).expect("fixture readable");
@@ -171,6 +190,7 @@ fn lint_paths_flags_violating_fixtures_and_passes_clean_ones() {
         "l004_clean.rs",
         "l005_clean.rs",
         "l006_clean.toml",
+        "l007_clean.yml",
     ];
     for name in clean {
         let v = xtask::lint::lint_paths(&root, &[fixture_rel(name)]).expect("fixture readable");

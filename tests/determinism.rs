@@ -27,11 +27,27 @@ fn same_seed_same_world() {
 /// for multiple seeds.
 #[test]
 fn parallel_run_matches_single_thread() {
+    use breval::analysis::pipeline::HeatmapMetric;
+    // Fig. 1/2 coverage, heatmaps: computed while the cap is in force so
+    // the newly parallel analysis stages are actually exercised at 1 vs 4
+    // threads (not lazily at whatever cap is ambient later).
+    let analyses = |s: &Scenario| {
+        let mut out = vec![
+            serde_json::to_string(&s.fig1()).unwrap(),
+            serde_json::to_string(&s.fig2()).unwrap(),
+        ];
+        for metric in [HeatmapMetric::TransitDegree, HeatmapMetric::Ppdc] {
+            out.push(serde_json::to_string(&s.heatmaps(metric)).unwrap());
+        }
+        out
+    };
     for seed in [5u64, 21] {
         breval::par::set_max_threads(Some(1));
         let single = Scenario::run(ScenarioConfig::small(seed));
+        let single_analyses = analyses(&single);
         breval::par::set_max_threads(Some(4));
         let multi = Scenario::run(ScenarioConfig::small(seed));
+        let multi_analyses = analyses(&multi);
         breval::par::set_max_threads(None);
 
         assert_eq!(
@@ -47,6 +63,23 @@ fn parallel_run_matches_single_thread() {
             let a = serde_json::to_string(&*single.scored_arc(name)).unwrap();
             let b = serde_json::to_string(&*multi.scored_arc(name)).unwrap();
             assert_eq!(a, b, "seed {seed}: {name} scored join must match");
+        }
+
+        // The newly parallel stages: validation compilation (chunked
+        // observation decoding), coverage (chunked classification), and
+        // heatmaps (chunked binning) must be byte-identical too.
+        assert_eq!(
+            single.validation_raw, multi.validation_raw,
+            "seed {seed}: compiled validation set must not depend on thread count"
+        );
+        for (label, (a, b)) in ["fig1", "fig2", "heatmap_transit", "heatmap_ppdc"]
+            .iter()
+            .zip(single_analyses.iter().zip(&multi_analyses))
+        {
+            assert_eq!(
+                a, b,
+                "seed {seed}: {label} JSON must not depend on thread count"
+            );
         }
     }
 }

@@ -1,0 +1,309 @@
+//! Offline vendored stand-in for the `scoped_threadpool` crate: a
+//! **persistent** pool of parked worker threads plus a scoped submission
+//! API that lets jobs borrow from the caller's stack.
+//!
+//! Differences from the real crate, in favour of the one consumer in this
+//! workspace (`breval-par`):
+//!
+//! * [`Pool::scoped`] takes `&self`, so multiple threads may run scopes on
+//!   one shared pool concurrently (each scope tracks its own pending-job
+//!   latch; jobs interleave on the shared workers).
+//! * [`Pool::ensure_threads`] grows the pool in place — workers are only
+//!   ever added, never dropped while another scope might be using them.
+//! * A job panic is caught on the worker (the worker survives and keeps
+//!   serving), recorded in the scope, and re-raised on the submitting
+//!   thread when the scope completes.
+//!
+//! # Soundness
+//!
+//! [`Scope::execute`] erases the `'scope` lifetime of a submitted closure
+//! (the one `unsafe` in this crate) so it can travel through the pool's
+//! `'static` job channel. This is sound because a scope *always* blocks
+//! until every job it submitted has finished — on the normal path at the
+//! end of [`Pool::scoped`], and on the unwind path in [`Scope`]'s `Drop` —
+//! so no job can outlive the borrows it captured.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+/// A type-erased job after lifetime erasure.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared between a pool handle and its workers.
+struct Inner {
+    tx: Sender<Job>,
+    /// Workers pull jobs one at a time through this shared receiver; the
+    /// lock is held only for the blocking `recv`, never while a job runs.
+    rx: Arc<Mutex<Receiver<Job>>>,
+    /// Worker threads spawned so far (grow-only).
+    spawned: AtomicU32,
+    /// Serialises growth so concurrent `ensure_threads` don't over-spawn.
+    grow: Mutex<()>,
+}
+
+/// A persistent thread pool: workers are spawned once (lazily, via
+/// [`Pool::ensure_threads`]) and park in `recv` between jobs.
+pub struct Pool {
+    inner: Arc<Inner>,
+}
+
+impl Pool {
+    /// Creates a pool and eagerly spawns `threads` workers. `Pool::new(0)`
+    /// spawns nothing — combine with [`Pool::ensure_threads`] for lazy
+    /// growth.
+    #[must_use]
+    pub fn new(threads: u32) -> Pool {
+        let (tx, rx) = channel::<Job>();
+        let pool = Pool {
+            inner: Arc::new(Inner {
+                tx,
+                rx: Arc::new(Mutex::new(rx)),
+                spawned: AtomicU32::new(0),
+                grow: Mutex::new(()),
+            }),
+        };
+        pool.ensure_threads(threads);
+        pool
+    }
+
+    /// Number of worker threads spawned so far.
+    #[must_use]
+    pub fn thread_count(&self) -> u32 {
+        self.inner.spawned.load(Ordering::Acquire)
+    }
+
+    /// Grows the pool to at least `threads` workers; a no-op if it is
+    /// already that large. Workers are never removed.
+    pub fn ensure_threads(&self, threads: u32) {
+        if self.thread_count() >= threads {
+            return;
+        }
+        let _g = lock(&self.inner.grow);
+        let current = self.inner.spawned.load(Ordering::Acquire);
+        for i in current..threads {
+            let rx = Arc::clone(&self.inner.rx);
+            thread::Builder::new()
+                .name(format!("pool-worker-{i}"))
+                .spawn(move || worker_loop(&rx))
+                .expect("spawn pool worker thread");
+        }
+        self.inner
+            .spawned
+            .store(threads.max(current), Ordering::Release);
+    }
+
+    /// Runs `f` with a [`Scope`] on which jobs borrowing from the caller's
+    /// stack can be submitted. Returns only after every submitted job has
+    /// finished; if any job panicked, the first panic is re-raised here.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            shared: Arc::new(ScopeShared {
+                pending: Mutex::new(0),
+                done: Condvar::new(),
+                panic: Mutex::new(None),
+            }),
+            _marker: PhantomData,
+        };
+        let ret = f(&scope);
+        scope.shared.wait_pending();
+        if let Some(payload) = lock(&scope.shared.panic).take() {
+            resume_unwind(payload);
+        }
+        ret
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // The guard is a temporary: dropped as soon as `recv` returns, so
+        // other workers can pull the next job while this one runs.
+        let job = lock(rx).recv();
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // pool dropped; channel closed
+        }
+    }
+}
+
+/// Per-scope completion latch and panic slot.
+struct ScopeShared {
+    pending: Mutex<u32>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeShared {
+    fn wait_pending(&self) {
+        let mut pending = lock(&self.pending);
+        while *pending > 0 {
+            pending = self
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Submission handle passed to the closure of [`Pool::scoped`]. Invariant
+/// in `'scope` (the `Cell` marker), like the real crate.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool Pool,
+    shared: Arc<ScopeShared>,
+    _marker: PhantomData<Cell<&'scope mut ()>>,
+}
+
+impl<'pool, 'scope> Scope<'pool, 'scope> {
+    /// Submits a job that may borrow anything outliving `'scope`. The job
+    /// runs on some pool worker; the surrounding [`Pool::scoped`] call
+    /// does not return until it has finished.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the scope blocks (in `Pool::scoped`, or in `Drop` when
+        // unwinding) until this job has run to completion, so the closure
+        // and its captured borrows strictly outlive the job's execution.
+        // Erasing `'scope` to `'static` only widens what the channel's
+        // type demands, never how long the data must actually live.
+        let boxed: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(
+                boxed,
+            )
+        };
+        *lock(&self.shared.pending) += 1;
+        let shared = Arc::clone(&self.shared);
+        let wrapped: Job = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(boxed));
+            if let Err(payload) = result {
+                lock(&shared.panic).get_or_insert(payload);
+            }
+            let mut pending = lock(&shared.pending);
+            *pending -= 1;
+            if *pending == 0 {
+                shared.done.notify_all();
+            }
+        });
+        self.pool
+            .inner
+            .tx
+            .send(wrapped)
+            .expect("pool worker channel open while a scope is live");
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    /// Unwind-path backstop: if the `scoped` closure itself panics after
+    /// submitting jobs, block until they finish before the borrows they
+    /// captured are freed. (On the normal path the pending count is
+    /// already zero and this returns immediately.)
+    fn drop(&mut self) {
+        self.shared.wait_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_borrow_from_the_caller_stack() {
+        let pool = Pool::new(3);
+        let data = [1u32, 2, 3, 4, 5, 6];
+        let sums: Vec<Mutex<u32>> = (0..3).map(|_| Mutex::new(0)).collect();
+        pool.scoped(|scope| {
+            for (chunk, slot) in data.chunks(2).zip(&sums) {
+                scope.execute(move || *lock(slot) = chunk.iter().sum());
+            }
+        });
+        let total: u32 = sums.iter().map(|s| *lock(s)).sum();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn workers_persist_across_scopes() {
+        let pool = Pool::new(2);
+        for _ in 0..10 {
+            let hits = AtomicUsize::new(0);
+            pool.scoped(|scope| {
+                for _ in 0..2 {
+                    scope.execute(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 2);
+        }
+        assert_eq!(pool.thread_count(), 2, "reuse must not spawn new workers");
+    }
+
+    #[test]
+    fn ensure_threads_grows_but_never_shrinks() {
+        let pool = Pool::new(1);
+        pool.ensure_threads(3);
+        assert_eq!(pool.thread_count(), 3);
+        pool.ensure_threads(2);
+        assert_eq!(pool.thread_count(), 3);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_the_scoped_caller() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job exploded"));
+            });
+        }));
+        assert!(caught.is_err());
+        // The worker survived the panic and keeps serving jobs.
+        let ok = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+            scope.execute(|| {
+                ok.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn concurrent_scopes_share_one_pool() {
+        let pool = Arc::new(Pool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    pool.scoped(|scope| {
+                        for _ in 0..8 {
+                            let total = &total;
+                            scope.execute(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 32);
+        assert_eq!(pool.thread_count(), 2);
+    }
+}

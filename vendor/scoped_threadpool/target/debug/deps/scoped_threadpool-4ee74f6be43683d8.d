@@ -1,0 +1,7 @@
+/root/repo/vendor/scoped_threadpool/target/debug/deps/scoped_threadpool-4ee74f6be43683d8.d: src/lib.rs
+
+/root/repo/vendor/scoped_threadpool/target/debug/deps/libscoped_threadpool-4ee74f6be43683d8.rlib: src/lib.rs
+
+/root/repo/vendor/scoped_threadpool/target/debug/deps/libscoped_threadpool-4ee74f6be43683d8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/scoped_threadpool/target/debug/deps/scoped_threadpool-ffa3701215099959.d: src/lib.rs
+
+/root/repo/vendor/scoped_threadpool/target/debug/deps/scoped_threadpool-ffa3701215099959: src/lib.rs
+
+src/lib.rs:
