@@ -9,15 +9,27 @@
 //!   an AS's cone contains every AS that appears *behind* it on a path where it
 //!   was reached from a provider or peer (Luckie et al. 2013). The paper's
 //!   Appendix B heatmaps (Figs. 7–8) bin transit links by PPDC size.
+//!
+//! Both hot kernels run over the dense core ([`crate::index::AsIndexer`] /
+//! [`crate::csr::CsrGraph`]): cone sizes come from an allocation-free BFS
+//! with per-worker [`ConeScratch`](crate::csr::ConeScratch) state, and PPDC
+//! cones are per-AS bitsets (one `u64` word per 64 observed ASes). The
+//! original BTree/hash implementations live on in [`baseline`] so the memory
+//! benchmark and the equivalence proptests can compare against them.
 
 use crate::asn::Asn;
+use crate::csr::{ConeScratch, CsrGraph};
 use crate::graph::AsGraph;
+use crate::index::AsIndexer;
 use crate::link::Link;
 use crate::paths::PathSet;
 use crate::rel::Rel;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Computes the full customer cone of `asn` over `graph` (self included).
+///
+/// This is the readable reference implementation; for whole-graph cone sizes
+/// use [`customer_cone_sizes`], which runs the dense CSR kernel instead.
 #[must_use]
 pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
     let mut cone = BTreeSet::new();
@@ -34,16 +46,161 @@ pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
     cone
 }
 
-/// Customer-cone sizes for every AS in the graph (self included). Per-AS
-/// cone walks are independent, so they fan out over the work-stealing pool
-/// (`breval_par`); results are identical at any thread count.
+/// Per-AS cone sizes in dense form: a `Vec<usize>` indexed by the dense id
+/// of an [`AsIndexer`]. Iteration is always in ascending ASN order, so no
+/// hash-map ordering can leak into downstream output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConeSizes {
+    indexer: AsIndexer,
+    sizes: Vec<usize>,
+}
+
+impl ConeSizes {
+    /// Sizes over no ASes (used as the stand-in for unknown scenarios).
+    #[must_use]
+    pub fn empty() -> Self {
+        ConeSizes::default()
+    }
+
+    /// Builds from an indexer and its id-aligned size vector.
+    ///
+    /// # Panics
+    /// If `sizes.len() != indexer.len()`.
+    #[must_use]
+    pub fn from_parts(indexer: AsIndexer, sizes: Vec<usize>) -> Self {
+        assert_eq!(
+            indexer.len(),
+            sizes.len(),
+            "ConeSizes requires one size per interned AS"
+        );
+        ConeSizes { indexer, sizes }
+    }
+
+    /// The indexer the sizes are aligned to.
+    #[must_use]
+    pub fn indexer(&self) -> &AsIndexer {
+        &self.indexer
+    }
+
+    /// The cone size of `asn`, or `None` if it was not observed.
+    #[must_use]
+    pub fn get(&self, asn: Asn) -> Option<usize> {
+        self.indexer.id(asn).map(|id| self.sizes[id as usize])
+    }
+
+    /// The cone size behind a dense id.
+    ///
+    /// # Panics
+    /// If `id` is out of range for the indexer.
+    #[must_use]
+    pub fn by_id(&self, id: u32) -> usize {
+        self.sizes[id as usize]
+    }
+
+    /// Number of ASes with a recorded size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// `true` if no sizes are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Iterates `(asn, size)` pairs in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, usize)> + '_ {
+        self.indexer.iter().zip(self.sizes.iter().copied())
+    }
+}
+
+/// Customer-cone sizes for every AS in the graph (self included).
+///
+/// Builds the [`CsrGraph`] mirror once and fans the per-AS BFS walks out
+/// over the work-stealing pool with one reusable
+/// [`ConeScratch`](crate::csr::ConeScratch) per worker, so the steady state
+/// allocates nothing. Results are identical at any thread count.
 #[must_use]
-pub fn customer_cone_sizes(graph: &AsGraph) -> HashMap<Asn, usize> {
-    let ases: Vec<Asn> = graph.ases().collect();
-    let sizes: Vec<usize> =
-        breval_par::parallel_map(ases.len(), |i| customer_cone(graph, ases[i]).len());
-    breval_obs::counter("cone_sizes_computed", ases.len() as u64);
-    ases.into_iter().zip(sizes).collect()
+pub fn customer_cone_sizes(graph: &AsGraph) -> ConeSizes {
+    customer_cone_sizes_csr(&CsrGraph::build(graph))
+}
+
+/// [`customer_cone_sizes`] for a prebuilt [`CsrGraph`].
+#[must_use]
+pub fn customer_cone_sizes_csr(csr: &CsrGraph) -> ConeSizes {
+    let n = csr.node_count();
+    let sizes = breval_par::parallel_map_init(n, ConeScratch::new, |scratch, i| {
+        csr.customer_cone_size(i as u32, scratch)
+    });
+    breval_obs::counter("cone_sizes_computed", n as u64);
+    ConeSizes::from_parts(csr.indexer().clone(), sizes)
+}
+
+/// Provider/peer observed customer cones as dense bitsets: one lazily
+/// allocated row of `u64` words per AS that was actually reached from a
+/// provider or peer. ASes that never were still own the implicit self-cone
+/// `{asn}` (size 1) without allocating a row.
+#[derive(Debug, Clone, Default)]
+pub struct PpdcCones {
+    indexer: AsIndexer,
+    /// One bit per observed AS; `None` means the implicit self-only cone.
+    rows: Vec<Option<Box<[u64]>>>,
+}
+
+impl PpdcCones {
+    /// The indexer over all path-observed ASes.
+    #[must_use]
+    pub fn indexer(&self) -> &AsIndexer {
+        &self.indexer
+    }
+
+    /// Cone size behind a dense id (popcount of the row; 1 without a row).
+    ///
+    /// # Panics
+    /// If `id` is out of range for the indexer.
+    #[must_use]
+    pub fn size_by_id(&self, id: u32) -> usize {
+        self.rows[id as usize]
+            .as_ref()
+            .map_or(1, |row| row.iter().map(|w| w.count_ones() as usize).sum())
+    }
+
+    /// The cone size of `asn`, or `None` if it was never observed on a path.
+    #[must_use]
+    pub fn size(&self, asn: Asn) -> Option<usize> {
+        self.indexer.id(asn).map(|id| self.size_by_id(id))
+    }
+
+    /// The cone members of `asn` (self included), or `None` if unobserved.
+    #[must_use]
+    pub fn members(&self, asn: Asn) -> Option<BTreeSet<Asn>> {
+        let id = self.indexer.id(asn)?;
+        Some(match &self.rows[id as usize] {
+            None => BTreeSet::from([asn]),
+            Some(row) => {
+                let mut out = BTreeSet::new();
+                for (word_idx, &word) in row.iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros();
+                        out.insert(self.indexer.asn((word_idx * 64) as u32 + bit));
+                        bits &= bits - 1;
+                    }
+                }
+                out
+            }
+        })
+    }
+
+    /// Collapses the cones into their sizes (popcount per row).
+    #[must_use]
+    pub fn sizes(&self) -> ConeSizes {
+        let sizes = (0..self.rows.len() as u32)
+            .map(|id| self.size_by_id(id))
+            .collect();
+        ConeSizes::from_parts(self.indexer.clone(), sizes)
+    }
 }
 
 /// Computes the provider/peer observed customer cones (PPDC) from observed
@@ -53,10 +210,28 @@ pub fn customer_cone_sizes(graph: &AsGraph) -> HashMap<Asn, usize> {
 /// according to `rels`, every `di` is placed into `x`'s cone. The AS itself is
 /// always a member of its own cone.
 #[must_use]
-pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, HashSet<Asn>> {
-    let mut cones: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> PpdcCones {
+    // Intern every AS observed on a multi-hop compressed path — exactly the
+    // key set of `PathStats::ases` (only `windows(2)` contribute degree),
+    // derived here without building the full path statistics. One compression
+    // buffer is reused across all paths, so the whole build allocates the
+    // indexer, the row table, and one bitset row per provider/peer-reached
+    // AS — nothing per path.
+    let mut buf: Vec<Asn> = Vec::new();
+    let mut observed: Vec<Asn> = Vec::new();
     for op in paths.paths() {
-        let c = op.path.compressed();
+        compress_into(op.path.hops(), &mut buf);
+        if buf.len() >= 2 {
+            observed.extend_from_slice(&buf);
+        }
+    }
+    let indexer = AsIndexer::from_unsorted(observed);
+    let n = indexer.len();
+    let words = n.div_ceil(64);
+    let mut rows: Vec<Option<Box<[u64]>>> = vec![None; n];
+    for op in paths.paths() {
+        compress_into(op.path.hops(), &mut buf);
+        let c = buf.as_slice();
         for i in 1..c.len() {
             let upstream = c[i - 1];
             let x = c[i];
@@ -69,30 +244,96 @@ pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, Ha
                 _ => false,
             };
             if from_provider_or_peer {
-                let cone = cones.entry(x).or_default();
+                let x_id = indexer.id(x).expect("path hop is an observed AS");
+                let row = rows[x_id as usize].get_or_insert_with(|| {
+                    let mut fresh = vec![0u64; words].into_boxed_slice();
+                    // Self-membership, matching the `or_default().insert(asn)`
+                    // of the hash-based baseline.
+                    fresh[x_id as usize / 64] |= 1u64 << (x_id % 64);
+                    fresh
+                });
                 for &d in &c[i + 1..] {
-                    cone.insert(d);
+                    let d_id = indexer.id(d).expect("path hop is an observed AS");
+                    row[d_id as usize / 64] |= 1u64 << (d_id % 64);
                 }
             }
         }
     }
-    // Every observed AS is in its own cone.
-    let stats = paths.stats();
-    for asn in stats.ases() {
-        cones.entry(asn).or_default().insert(asn);
-    }
-    cones
+    PpdcCones { indexer, rows }
 }
 
-/// PPDC cone *sizes* (see [`ppdc_cones`]).
+/// Writes the prepend-compressed form of `hops` into `buf` (cleared first),
+/// reusing its capacity across calls.
+fn compress_into(hops: &[Asn], buf: &mut Vec<Asn>) {
+    buf.clear();
+    for &hop in hops {
+        if buf.last() != Some(&hop) {
+            buf.push(hop);
+        }
+    }
+}
+
+/// PPDC cone *sizes* (see [`ppdc_cones`]), in dense ASN-ordered form.
 #[must_use]
-pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> HashMap<Asn, usize> {
-    let sizes: HashMap<Asn, usize> = ppdc_cones(paths, rels)
-        .into_iter()
-        .map(|(a, s)| (a, s.len()))
-        .collect();
+pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> ConeSizes {
+    let sizes = ppdc_cones(paths, rels).sizes();
     breval_obs::counter("ppdc_sizes_computed", sizes.len() as u64);
     sizes
+}
+
+/// BTree/hash reference implementations of the cone kernels, kept callable
+/// so the memory benchmark (`BENCH_mem.json`) and the CSR equivalence
+/// proptests can measure and verify the dense kernels against them.
+pub mod baseline {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// [`customer_cone_sizes`](super::customer_cone_sizes) as shipped before
+    /// the dense core: one fresh `BTreeSet` BFS per AS.
+    #[must_use]
+    pub fn customer_cone_sizes_btree(graph: &AsGraph) -> HashMap<Asn, usize> {
+        let ases: Vec<Asn> = graph.ases().collect();
+        let sizes: Vec<usize> =
+            breval_par::parallel_map(ases.len(), |i| customer_cone(graph, ases[i]).len());
+        ases.into_iter().zip(sizes).collect()
+    }
+
+    /// [`ppdc_cones`](super::ppdc_cones) as shipped before the dense core:
+    /// per-AS `HashSet` cones in a `HashMap`.
+    #[must_use]
+    pub fn ppdc_cones_hash(
+        paths: &PathSet,
+        rels: &HashMap<Link, Rel>,
+    ) -> HashMap<Asn, HashSet<Asn>> {
+        let mut cones: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+        for op in paths.paths() {
+            let c = op.path.compressed();
+            for i in 1..c.len() {
+                let upstream = c[i - 1];
+                let x = c[i];
+                let Some(link) = Link::new(upstream, x) else {
+                    continue;
+                };
+                let from_provider_or_peer = match rels.get(&link) {
+                    Some(Rel::P2p) => true,
+                    Some(Rel::P2c { provider }) => *provider == upstream,
+                    _ => false,
+                };
+                if from_provider_or_peer {
+                    let cone = cones.entry(x).or_default();
+                    for &d in &c[i + 1..] {
+                        cone.insert(d);
+                    }
+                }
+            }
+        }
+        // Every observed AS is in its own cone.
+        let stats = paths.stats();
+        for asn in stats.ases() {
+            cones.entry(asn).or_default().insert(asn);
+        }
+        cones
+    }
 }
 
 #[cfg(test)]
@@ -125,9 +366,10 @@ mod tests {
         );
         assert_eq!(customer_cone(&g, Asn(3)).len(), 1);
         let sizes = customer_cone_sizes(&g);
-        assert_eq!(sizes[&Asn(1)], 4);
-        assert_eq!(sizes[&Asn(2)], 3);
-        assert_eq!(sizes[&Asn(5)], 1);
+        assert_eq!(sizes.get(Asn(1)), Some(4));
+        assert_eq!(sizes.get(Asn(2)), Some(3));
+        assert_eq!(sizes.get(Asn(5)), Some(1));
+        assert_eq!(sizes.get(Asn(99)), None);
     }
 
     #[test]
@@ -138,6 +380,40 @@ mod tests {
         g.add_rel(l(2, 4), p2c(2)).unwrap();
         g.add_rel(l(3, 4), p2c(3)).unwrap(); // 4 multihomes to 2 and 3
         assert_eq!(customer_cone(&g, Asn(1)).len(), 4);
+    }
+
+    #[test]
+    fn cone_sizes_iterate_in_ascending_asn_order() {
+        // Regression for the old HashMap return type: iteration order must be
+        // the ASN order, never a hash order.
+        let mut g = AsGraph::new();
+        g.add_rel(l(30, 2), p2c(30)).unwrap();
+        g.add_rel(l(2, 17), p2c(2)).unwrap();
+        g.add_rel(l(9, 17), Rel::P2p).unwrap();
+        let sizes = customer_cone_sizes(&g);
+        let order: Vec<Asn> = sizes.iter().map(|(a, _)| a).collect();
+        assert_eq!(order, vec![Asn(2), Asn(9), Asn(17), Asn(30)]);
+        let as_map: Vec<(Asn, usize)> = sizes.iter().collect();
+        assert_eq!(
+            as_map,
+            vec![(Asn(2), 2), (Asn(9), 1), (Asn(17), 1), (Asn(30), 3)]
+        );
+    }
+
+    #[test]
+    fn dense_cone_sizes_match_btree_baseline() {
+        let mut g = AsGraph::new();
+        g.add_rel(l(1, 2), p2c(1)).unwrap();
+        g.add_rel(l(2, 3), p2c(2)).unwrap();
+        g.add_rel(l(2, 4), p2c(2)).unwrap();
+        g.add_rel(l(4, 5), p2c(4)).unwrap();
+        g.add_rel(l(1, 6), Rel::P2p).unwrap();
+        let dense = customer_cone_sizes(&g);
+        let reference = baseline::customer_cone_sizes_btree(&g);
+        assert_eq!(dense.len(), reference.len());
+        for (asn, size) in dense.iter() {
+            assert_eq!(reference.get(&asn), Some(&size));
+        }
     }
 
     #[test]
@@ -154,12 +430,12 @@ mod tests {
         ps.push(Asn(4), AsPath::new(vec![Asn(4), Asn(2), Asn(3)]));
 
         let cones = ppdc_cones(&ps, &rels);
-        let cone2: BTreeSet<_> = cones[&Asn(2)].iter().copied().collect();
+        let cone2 = cones.members(Asn(2)).unwrap();
         assert_eq!(cone2.into_iter().collect::<Vec<_>>(), vec![Asn(2), Asn(3)]);
         // AS3 observed only at path tails still has the self cone.
-        assert_eq!(cones[&Asn(3)].len(), 1);
+        assert_eq!(cones.members(Asn(3)).unwrap().len(), 1);
         let sizes = ppdc_sizes(&ps, &rels);
-        assert_eq!(sizes[&Asn(2)], 2);
+        assert_eq!(sizes.get(Asn(2)), Some(2));
     }
 
     #[test]
@@ -170,6 +446,25 @@ mod tests {
         let mut ps = PathSet::new();
         ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3)]));
         let sizes = ppdc_sizes(&ps, &rels);
-        assert_eq!(sizes[&Asn(2)], 2);
+        assert_eq!(sizes.get(Asn(2)), Some(2));
+    }
+
+    #[test]
+    fn ppdc_bitsets_match_hash_baseline() {
+        let mut rels = HashMap::new();
+        rels.insert(l(1, 2), p2c(1));
+        rels.insert(l(2, 3), p2c(2));
+        rels.insert(l(3, 4), p2c(3));
+        rels.insert(l(5, 2), Rel::P2p);
+        let mut ps = PathSet::new();
+        ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3), Asn(4)]));
+        ps.push(Asn(5), AsPath::new(vec![Asn(5), Asn(2), Asn(3)]));
+        let dense = ppdc_cones(&ps, &rels);
+        let reference = baseline::ppdc_cones_hash(&ps, &rels);
+        assert_eq!(dense.indexer().len(), reference.len());
+        for (&asn, members) in &reference {
+            let expect: BTreeSet<Asn> = members.iter().copied().collect();
+            assert_eq!(dense.members(asn), Some(expect), "cone of {asn:?}");
+        }
     }
 }

@@ -1,0 +1,314 @@
+//! Role-segmented compressed-sparse-row adjacency.
+//!
+//! [`CsrGraph`] is the dense mirror of [`AsGraph`](crate::AsGraph): ASNs are
+//! interned to `u32` ids ([`AsIndexer`]) and each relationship role
+//! (providers / customers / peers / siblings) becomes one CSR array — an
+//! `offsets` prefix-sum plus a flat `targets` buffer — so a node's neighbor
+//! list is a contiguous `&[u32]` slice. The hot kernels (customer-cone BFS,
+//! class partition) walk these slices instead of chasing
+//! `BTreeMap`/`BTreeSet` nodes, and the per-worker [`ConeScratch`] makes the
+//! cone BFS allocation-free after warm-up: visited state is an epoch-stamped
+//! `Vec<u32>` that is *never cleared* between cones — bumping the epoch
+//! invalidates all stamps in O(1).
+//!
+//! Neighbor slices are sorted by id (= by ASN, since ids are assigned in
+//! ASN order), so CSR iteration reproduces the BTree iteration order
+//! bit-for-bit.
+
+use crate::graph::AsGraph;
+use crate::index::AsIndexer;
+
+/// One role's adjacency in compressed-sparse-row form.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// `offsets[i]..offsets[i + 1]` indexes `targets` for node `i`;
+    /// length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// Concatenated neighbor ids, sorted within each node's segment.
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    fn with_nodes(n: usize) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        Csr {
+            offsets,
+            targets: Vec::new(),
+        }
+    }
+
+    fn close_node(&mut self) {
+        self.offsets.push(self.targets.len() as u32);
+    }
+
+    fn neighbors(&self, id: u32) -> &[u32] {
+        let lo = self.offsets[id as usize] as usize;
+        let hi = self.offsets[id as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+}
+
+/// A relationship-labelled AS graph in dense CSR form. Built once from an
+/// [`AsGraph`] and immutable afterwards; all ids refer to
+/// [`CsrGraph::indexer`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraph {
+    indexer: AsIndexer,
+    providers: Csr,
+    customers: Csr,
+    peers: Csr,
+    siblings: Csr,
+}
+
+impl CsrGraph {
+    /// Builds the CSR mirror of `graph` in one pass over its adjacency.
+    ///
+    /// The source adjacency iterates ASes and neighbor sets in ascending
+    /// ASN order, so every CSR segment comes out sorted by id without a
+    /// sort pass.
+    #[must_use]
+    pub fn build(graph: &AsGraph) -> Self {
+        let indexer = AsIndexer::from_sorted(graph.ases().collect());
+        let n = indexer.len();
+        let mut providers = Csr::with_nodes(n);
+        let mut customers = Csr::with_nodes(n);
+        let mut peers = Csr::with_nodes(n);
+        let mut siblings = Csr::with_nodes(n);
+        for (_, adj) in graph.adjacency_entries() {
+            for (csr, set) in [
+                (&mut providers, &adj.providers),
+                (&mut customers, &adj.customers),
+                (&mut peers, &adj.peers),
+                (&mut siblings, &adj.siblings),
+            ] {
+                for &neighbor in set {
+                    let id = indexer
+                        .id(neighbor)
+                        .expect("every neighbor is a graph node");
+                    csr.targets.push(id);
+                }
+                csr.close_node();
+            }
+        }
+        breval_obs::counter("csr_nodes_indexed", n as u64);
+        CsrGraph {
+            indexer,
+            providers,
+            customers,
+            peers,
+            siblings,
+        }
+    }
+
+    /// The ASN ↔ id bijection this graph was built with.
+    #[must_use]
+    pub fn indexer(&self) -> &AsIndexer {
+        &self.indexer
+    }
+
+    /// Number of nodes (= `indexer().len()`).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.indexer.len()
+    }
+
+    /// Transit providers of node `id`, sorted by id.
+    #[must_use]
+    pub fn providers(&self, id: u32) -> &[u32] {
+        self.providers.neighbors(id)
+    }
+
+    /// Transit customers of node `id`, sorted by id.
+    #[must_use]
+    pub fn customers(&self, id: u32) -> &[u32] {
+        self.customers.neighbors(id)
+    }
+
+    /// Settlement-free peers of node `id`, sorted by id.
+    #[must_use]
+    pub fn peers(&self, id: u32) -> &[u32] {
+        self.peers.neighbors(id)
+    }
+
+    /// Same-organisation siblings of node `id`, sorted by id.
+    #[must_use]
+    pub fn siblings(&self, id: u32) -> &[u32] {
+        self.siblings.neighbors(id)
+    }
+
+    /// Size of the customer cone of `id` (self included), computed by an
+    /// allocation-free BFS over the customer CSR: `scratch` is reused across
+    /// calls, so after the first cone on a graph of this size no allocation
+    /// happens at all.
+    #[must_use]
+    pub fn customer_cone_size(&self, id: u32, scratch: &mut ConeScratch) -> usize {
+        self.cone_bfs(id, scratch);
+        scratch.queue.len()
+    }
+
+    /// The customer-cone member ids of `id` (self included), in BFS order.
+    /// The returned slice borrows `scratch` and is valid until its next use.
+    #[must_use]
+    pub fn customer_cone_ids<'s>(&self, id: u32, scratch: &'s mut ConeScratch) -> &'s [u32] {
+        self.cone_bfs(id, scratch);
+        &scratch.queue
+    }
+
+    /// BFS from `id` over customer edges; on return `scratch.queue` holds
+    /// the visited set.
+    fn cone_bfs(&self, id: u32, scratch: &mut ConeScratch) {
+        scratch.begin(self.node_count());
+        scratch.mark(id);
+        scratch.queue.push(id);
+        let mut head = 0;
+        while head < scratch.queue.len() {
+            let current = scratch.queue[head];
+            head += 1;
+            for &customer in self.customers(current) {
+                if scratch.mark(customer) {
+                    scratch.queue.push(customer);
+                }
+            }
+        }
+    }
+}
+
+/// Reusable per-worker BFS state: an epoch-stamped visited array plus the
+/// BFS queue. Designed for `breval_par::parallel_map_init` — one scratch per
+/// worker, thousands of cones each, zero allocation after the first.
+#[derive(Debug, Default)]
+pub struct ConeScratch {
+    /// `visited[i] == epoch` means node `i` was visited in the current BFS.
+    visited: Vec<u32>,
+    /// Current BFS generation; bumping it invalidates all stamps in O(1).
+    epoch: u32,
+    /// BFS frontier and, once drained, the visited set of the current cone.
+    queue: Vec<u32>,
+}
+
+impl ConeScratch {
+    /// A fresh scratch (allocates lazily on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        ConeScratch::default()
+    }
+
+    /// Prepares for a BFS over `n` nodes: resizes the visited array if the
+    /// graph size changed and advances the epoch (wrapping safely — on
+    /// overflow the array is zeroed so stale stamps can never collide).
+    fn begin(&mut self, n: usize) {
+        if self.visited.len() != n {
+            self.visited.clear();
+            self.visited.resize(n, 0);
+            self.epoch = 0;
+        }
+        if self.epoch == u32::MAX {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.queue.clear();
+    }
+
+    /// Marks `id` visited; `true` if it was not already visited this epoch.
+    fn mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.visited[id as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::Asn;
+    use crate::link::Link;
+    use crate::rel::Rel;
+
+    fn l(a: u32, b: u32) -> Link {
+        Link::new(Asn(a), Asn(b)).expect("distinct endpoints")
+    }
+
+    fn p2c(provider: u32) -> Rel {
+        Rel::P2c {
+            provider: Asn(provider),
+        }
+    }
+
+    fn sample() -> AsGraph {
+        let mut g = AsGraph::new();
+        g.add_rel(l(1, 2), p2c(1)).unwrap();
+        g.add_rel(l(2, 3), p2c(2)).unwrap();
+        g.add_rel(l(2, 4), p2c(2)).unwrap();
+        g.add_rel(l(2, 5), Rel::P2p).unwrap();
+        g.add_rel(l(2, 6), Rel::S2s).unwrap();
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_graph_roles() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let id = |a: u32| csr.indexer().id(Asn(a)).unwrap();
+        let asns =
+            |ids: &[u32]| -> Vec<Asn> { ids.iter().map(|&i| csr.indexer().asn(i)).collect() };
+        assert_eq!(csr.node_count(), 6);
+        assert_eq!(asns(csr.customers(id(2))), vec![Asn(3), Asn(4)]);
+        assert_eq!(asns(csr.providers(id(2))), vec![Asn(1)]);
+        assert_eq!(asns(csr.peers(id(2))), vec![Asn(5)]);
+        assert_eq!(asns(csr.siblings(id(2))), vec![Asn(6)]);
+        assert!(csr.customers(id(3)).is_empty());
+    }
+
+    #[test]
+    fn cone_bfs_matches_reference() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let mut scratch = ConeScratch::new();
+        let id1 = csr.indexer().id(Asn(1)).unwrap();
+        // Cone of 1 = {1, 2, 3, 4}: peers/siblings do not extend it.
+        assert_eq!(csr.customer_cone_size(id1, &mut scratch), 4);
+        let mut cone: Vec<Asn> = csr
+            .customer_cone_ids(id1, &mut scratch)
+            .iter()
+            .map(|&i| csr.indexer().asn(i))
+            .collect();
+        cone.sort();
+        assert_eq!(cone, vec![Asn(1), Asn(2), Asn(3), Asn(4)]);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_between_cones() {
+        let g = sample();
+        let csr = CsrGraph::build(&g);
+        let mut scratch = ConeScratch::new();
+        let sizes: Vec<usize> = (0..csr.node_count() as u32)
+            .map(|i| csr.customer_cone_size(i, &mut scratch))
+            .collect();
+        // 1 → 4 nodes, 2 → 3, everything else is a stub cone of itself.
+        assert_eq!(sizes, vec![4, 3, 1, 1, 1, 1]);
+        // Re-running with the same scratch gives identical answers.
+        let again: Vec<usize> = (0..csr.node_count() as u32)
+            .map(|i| csr.customer_cone_size(i, &mut scratch))
+            .collect();
+        assert_eq!(sizes, again);
+    }
+
+    #[test]
+    fn scratch_adapts_to_graph_size_changes() {
+        let g1 = sample();
+        let csr1 = CsrGraph::build(&g1);
+        let mut g2 = AsGraph::new();
+        g2.add_rel(l(1, 2), p2c(1)).unwrap();
+        let csr2 = CsrGraph::build(&g2);
+        let mut scratch = ConeScratch::new();
+        assert_eq!(csr1.customer_cone_size(0, &mut scratch), 4);
+        assert_eq!(csr2.customer_cone_size(0, &mut scratch), 2);
+        assert_eq!(csr1.customer_cone_size(0, &mut scratch), 4);
+    }
+}

@@ -21,11 +21,11 @@ pub enum NeighborRole {
 }
 
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct Adjacency {
-    providers: BTreeSet<Asn>,
-    customers: BTreeSet<Asn>,
-    peers: BTreeSet<Asn>,
-    siblings: BTreeSet<Asn>,
+pub(crate) struct Adjacency {
+    pub(crate) providers: BTreeSet<Asn>,
+    pub(crate) customers: BTreeSet<Asn>,
+    pub(crate) peers: BTreeSet<Asn>,
+    pub(crate) siblings: BTreeSet<Asn>,
 }
 
 /// A relationship-labelled, undirected AS-level graph.
@@ -141,6 +141,12 @@ impl AsGraph {
     /// Iterates over all ASes in deterministic order.
     pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
         self.adj.keys().copied()
+    }
+
+    /// Iterates `(asn, adjacency)` pairs in ascending ASN order — the
+    /// one-pass source for the CSR build in [`crate::csr::CsrGraph`].
+    pub(crate) fn adjacency_entries(&self) -> impl Iterator<Item = (Asn, &Adjacency)> + '_ {
+        self.adj.iter().map(|(a, adj)| (*a, adj))
     }
 
     /// Transit providers of `asn`.

@@ -1,0 +1,125 @@
+//! Dense AS interning.
+//!
+//! Every hot analysis kernel (customer-cone BFS, PPDC bitsets, class
+//! partition, coverage, heatmaps) works over dense `u32` ids instead of
+//! pointer-chasing `BTreeMap<Asn, …>` structures. An [`AsIndexer`] is the
+//! bridge: built **once** per graph (or path set), it assigns the id `i` to
+//! the `i`-th smallest ASN. Ids are contiguous, so per-AS state becomes a
+//! flat `Vec` indexed by id, and the sorted construction makes every
+//! id-ordered iteration automatically ASN-ordered — dense kernels inherit
+//! the determinism of the BTree structures they replace for free.
+//!
+//! `Asn` values only exist at the edges of the pipeline (parsing,
+//! serialization, report rendering); see `DESIGN.md`'s "Memory layout &
+//! interning" section.
+
+use crate::asn::Asn;
+
+/// A bijection between a fixed, sorted set of ASNs and the dense id range
+/// `0..len`. Immutable once built.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AsIndexer {
+    /// Strictly ascending; the id of `asns[i]` is `i`.
+    asns: Vec<Asn>,
+}
+
+impl AsIndexer {
+    /// An indexer over no ASes.
+    #[must_use]
+    pub fn empty() -> Self {
+        AsIndexer::default()
+    }
+
+    /// Builds from a strictly ascending ASN list (the natural output of any
+    /// BTree-ordered iteration). Strictness is debug-asserted.
+    #[must_use]
+    pub fn from_sorted(asns: Vec<Asn>) -> Self {
+        debug_assert!(
+            asns.windows(2).all(|w| w[0] < w[1]),
+            "AsIndexer::from_sorted requires strictly ascending ASNs"
+        );
+        AsIndexer { asns }
+    }
+
+    /// Builds from arbitrary ASNs (sorted and deduplicated internally).
+    #[must_use]
+    pub fn from_unsorted(mut asns: Vec<Asn>) -> Self {
+        asns.sort_unstable();
+        asns.dedup();
+        AsIndexer { asns }
+    }
+
+    /// The dense id of `asn`, or `None` if it was not interned.
+    #[must_use]
+    pub fn id(&self, asn: Asn) -> Option<u32> {
+        self.asns.binary_search(&asn).ok().map(|i| i as u32)
+    }
+
+    /// The ASN behind a dense id.
+    ///
+    /// # Panics
+    /// If `id >= self.len()` — ids come from [`AsIndexer::id`] on the same
+    /// indexer, so an out-of-range id is a logic error.
+    #[must_use]
+    pub fn asn(&self, id: u32) -> Asn {
+        self.asns[id as usize]
+    }
+
+    /// `true` if `asn` was interned.
+    #[must_use]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.asns.binary_search(&asn).is_ok()
+    }
+
+    /// Number of interned ASes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// `true` if no ASes were interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// Iterates the interned ASNs in id order (= ascending ASN order).
+    pub fn iter(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.asns.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_sorted_input() {
+        let idx = AsIndexer::from_sorted(vec![Asn(3), Asn(7), Asn(100)]);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.id(Asn(3)), Some(0));
+        assert_eq!(idx.id(Asn(7)), Some(1));
+        assert_eq!(idx.id(Asn(100)), Some(2));
+        assert_eq!(idx.id(Asn(4)), None);
+        assert_eq!(idx.asn(1), Asn(7));
+        assert!(idx.contains(Asn(100)) && !idx.contains(Asn(101)));
+        assert_eq!(
+            idx.iter().collect::<Vec<_>>(),
+            vec![Asn(3), Asn(7), Asn(100)]
+        );
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_and_deduped() {
+        let idx = AsIndexer::from_unsorted(vec![Asn(9), Asn(2), Asn(9), Asn(5)]);
+        assert_eq!(idx.iter().collect::<Vec<_>>(), vec![Asn(2), Asn(5), Asn(9)]);
+        assert_eq!(idx.id(Asn(9)), Some(2));
+    }
+
+    #[test]
+    fn empty_indexer() {
+        let idx = AsIndexer::empty();
+        assert!(idx.is_empty());
+        assert_eq!(idx.id(Asn(1)), None);
+    }
+}

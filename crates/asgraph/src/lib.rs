@@ -14,6 +14,10 @@
 //!   algorithms in `asinfer` consume.
 //! * [`clique`] — Tier-1 clique inference over transit-degree rankings, as used by
 //!   the ASRank pipeline.
+//! * [`AsIndexer`] / [`CsrGraph`] — the dense core: sorted-ASN ↔ `u32` id
+//!   interning plus role-segmented CSR adjacency, so the hot analysis kernels
+//!   (cone BFS, PPDC bitsets, class partition) run over flat arrays and only
+//!   convert back to [`Asn`] at serialization boundaries.
 //!
 //! The crate is dependency-light (only `serde`) and purely computational.
 
@@ -23,16 +27,21 @@
 pub mod asn;
 pub mod clique;
 pub mod cone;
+pub mod csr;
 pub mod error;
 pub mod graph;
+pub mod index;
 pub mod link;
 pub mod paths;
 pub mod rel;
 pub mod valley;
 
 pub use asn::Asn;
+pub use cone::{ConeSizes, PpdcCones};
+pub use csr::{ConeScratch, CsrGraph};
 pub use error::GraphError;
 pub use graph::{AsGraph, NeighborRole};
+pub use index::AsIndexer;
 pub use link::Link;
 pub use paths::{AsPath, ObservedPath, PathSet, PathStats};
 pub use rel::{GtRel, Rel, RelClass};

@@ -124,6 +124,11 @@ struct PoolMicrobench {
     calls: usize,
     items_per_call: usize,
     threads: usize,
+    /// True when the fixed 2-thread cap exceeds the measuring machine's
+    /// hardware concurrency (same honesty flag as the row-level benches):
+    /// the microbenchmark then measures submission overhead only, never
+    /// parallel speedup.
+    exceeds_hardware: bool,
     /// Total wall for `calls` maps through the persistent pool.
     pool_total_ms: f64,
     /// Total wall for the same maps with thread spawning per call.
@@ -737,6 +742,7 @@ overall: {}
                     calls: micro_calls,
                     items_per_call: micro_items,
                     threads: micro_threads,
+                    exceeds_hardware: micro_threads > hardware_threads,
                     pool_total_ms,
                     spawn_total_ms,
                     spawn_over_pool: spawn_total_ms / pool_total_ms.max(1e-9),

@@ -1,0 +1,282 @@
+//! Memory benchmark: allocation counts and per-stage walls for the dense
+//! (CSR / bitset / keyed) analysis kernels against the BTree/hash baselines
+//! they replaced, written to `BENCH_mem.json` at the repository root.
+//!
+//! The binary installs a counting global allocator (vendored
+//! `counting_alloc` — the `GlobalAlloc` impl is the workspace's only
+//! unsafe code, and it lives outside the `forbid(unsafe_code)` crates), runs
+//! every stage twice (dense and baseline) on the same inputs, asserts the
+//! results agree, and records per-stage allocation/byte/wall deltas.
+//!
+//! Runs at the small (smoke) scale by default, so CI can regenerate the
+//! file on every push; pass `--full` for the paper-scale topology. The
+//! thread cap is pinned to 1 so allocation counts are deterministic.
+
+#![forbid(unsafe_code)]
+
+use asgraph::{cone, CsrGraph};
+use breval_core::classes::LinkClassifier;
+use breval_core::coverage::{coverage_by_class, coverage_by_class_keyed};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+
+/// One measured stage.
+#[derive(serde::Serialize)]
+struct MemStage {
+    stage: &'static str,
+    wall_ms: f64,
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+/// A dense-vs-baseline pairing for one pipeline stage.
+#[derive(serde::Serialize)]
+struct MemComparison {
+    stage: &'static str,
+    dense_allocations: u64,
+    baseline_allocations: u64,
+    /// baseline_allocations / dense_allocations — ≥ 2 is the PR's bar.
+    allocation_reduction: f64,
+    dense_wall_ms: f64,
+    baseline_wall_ms: f64,
+}
+
+/// The `BENCH_mem.json` document.
+#[derive(serde::Serialize)]
+struct BenchMem {
+    name: String,
+    scenario: String,
+    seed: u64,
+    threads: usize,
+    stages: Vec<MemStage>,
+    comparisons: Vec<MemComparison>,
+}
+
+/// Snapshot of the allocator counters and a span's wall total, taken before
+/// a stage runs; `finish` turns it into the stage's deltas.
+struct Probe {
+    span: &'static str,
+    allocations: u64,
+    bytes: u64,
+    wall: f64,
+}
+
+fn probe(span: &'static str) -> Probe {
+    Probe {
+        span,
+        allocations: counting_alloc::allocation_count(),
+        bytes: counting_alloc::allocated_bytes(),
+        wall: breval_obs::span_wall_ms(span),
+    }
+}
+
+impl Probe {
+    fn finish(self, stage: &'static str) -> MemStage {
+        MemStage {
+            stage,
+            wall_ms: breval_obs::span_wall_ms(self.span) - self.wall,
+            allocations: counting_alloc::allocation_count() - self.allocations,
+            allocated_bytes: counting_alloc::allocated_bytes() - self.bytes,
+        }
+    }
+}
+
+fn main() {
+    if std::env::var(breval_obs::ENV_VAR).is_err() {
+        breval_obs::set_enabled(true);
+    }
+    // Single-threaded so allocation counts (and per-worker scratch builds)
+    // are identical run to run.
+    breval_par::set_max_threads(Some(1));
+
+    let full = std::env::args().any(|a| a == "--full");
+    let seed = 42u64;
+    let config = if full {
+        topogen::TopologyConfig {
+            seed,
+            ..topogen::TopologyConfig::default()
+        }
+    } else {
+        topogen::TopologyConfig::small(seed)
+    };
+
+    eprintln!(
+        "membench: generating {} topology (seed {seed})…",
+        if full { "full" } else { "small" }
+    );
+    let topology = topogen::generate(&config);
+    let graph = topology
+        .ground_truth_graph()
+        .expect("generated topology is a valid graph");
+    let snapshot = bgpsim::simulate(&topology);
+    let paths = snapshot.to_pathset(false).sanitized();
+    let stats = paths.stats();
+    let rels: std::collections::HashMap<asgraph::Link, asgraph::Rel> =
+        topology.links.iter().map(|(l, r)| (*l, r.base)).collect();
+
+    let mut stages: Vec<MemStage> = Vec::new();
+
+    // --- customer cones: CSR build + allocation-free BFS vs BTree BFS ---
+    let p = probe("membench_csr_build");
+    let csr = {
+        let _s = breval_obs::span!("membench_csr_build");
+        CsrGraph::build(&graph)
+    };
+    let csr_build = p.finish("csr_build");
+
+    let p = probe("membench_cone_dense");
+    let cone_dense = {
+        let _s = breval_obs::span!("membench_cone_dense");
+        cone::customer_cone_sizes_csr(&csr)
+    };
+    let cone_dense_stage = p.finish("cone_dense");
+
+    let p = probe("membench_cone_btree");
+    let cone_btree = {
+        let _s = breval_obs::span!("membench_cone_btree");
+        cone::baseline::customer_cone_sizes_btree(&graph)
+    };
+    let cone_btree_stage = p.finish("cone_btree");
+
+    assert_eq!(cone_dense.len(), cone_btree.len(), "cone key sets differ");
+    for (asn, size) in cone_dense.iter() {
+        assert_eq!(
+            cone_btree.get(&asn),
+            Some(&size),
+            "cone size mismatch for {asn}"
+        );
+    }
+
+    // --- PPDC cones: bitset rows vs per-AS hash sets ---
+    let p = probe("membench_ppdc_bitset");
+    let ppdc_dense = {
+        let _s = breval_obs::span!("membench_ppdc_bitset");
+        cone::ppdc_cones(&paths, &rels)
+    };
+    let ppdc_dense_stage = p.finish("ppdc_bitset");
+
+    let p = probe("membench_ppdc_hash");
+    let ppdc_hash = {
+        let _s = breval_obs::span!("membench_ppdc_hash");
+        cone::baseline::ppdc_cones_hash(&paths, &rels)
+    };
+    let ppdc_hash_stage = p.finish("ppdc_hash");
+
+    assert_eq!(
+        ppdc_dense.indexer().len(),
+        ppdc_hash.len(),
+        "PPDC key sets differ"
+    );
+    for (&asn, members) in &ppdc_hash {
+        assert_eq!(
+            ppdc_dense.size(asn),
+            Some(members.len()),
+            "PPDC cone size mismatch for {asn}"
+        );
+    }
+
+    // --- coverage: compact keys (labels at the end) vs String-per-link ---
+    let classifier = LinkClassifier::with_cone_sizes(
+        asregistry::RegionMap::build(
+            topology.iana_table(),
+            &topology.delegation_files("20180405"),
+        ),
+        Arc::new(cone_dense.clone()),
+        topology.tier1.clone(),
+        topology.hypergiants.clone(),
+    );
+    let inferred: BTreeSet<asgraph::Link> = stats.links().clone();
+    // A deterministic pseudo-validation subset: every third link.
+    let validated: BTreeSet<asgraph::Link> = inferred.iter().step_by(3).copied().collect();
+
+    let p = probe("membench_coverage_ids");
+    let coverage_ids = {
+        let _s = breval_obs::span!("membench_coverage_ids");
+        coverage_by_class_keyed(
+            &inferred,
+            &validated,
+            |l| classifier.region_class(l),
+            |c| c.label(),
+        )
+    };
+    let coverage_ids_stage = p.finish("coverage_ids");
+
+    let p = probe("membench_coverage_strings");
+    let coverage_strings = {
+        let _s = breval_obs::span!("membench_coverage_strings");
+        coverage_by_class(&inferred, &validated, |l| {
+            classifier.region_class(l).map(|c| c.label())
+        })
+    };
+    let coverage_strings_stage = p.finish("coverage_strings");
+
+    assert_eq!(
+        coverage_ids, coverage_strings,
+        "keyed coverage rows differ from string-keyed rows"
+    );
+
+    let compare = |stage: &'static str, dense: &[&MemStage], baseline: &[&MemStage]| {
+        let d_alloc: u64 = dense.iter().map(|s| s.allocations).sum();
+        let b_alloc: u64 = baseline.iter().map(|s| s.allocations).sum();
+        MemComparison {
+            stage,
+            dense_allocations: d_alloc,
+            baseline_allocations: b_alloc,
+            allocation_reduction: b_alloc as f64 / d_alloc.max(1) as f64,
+            dense_wall_ms: dense.iter().map(|s| s.wall_ms).sum(),
+            baseline_wall_ms: baseline.iter().map(|s| s.wall_ms).sum(),
+        }
+    };
+    // The CSR build is charged to the dense cone side: the baseline needs no
+    // auxiliary structure, so the comparison stays honest.
+    let comparisons = vec![
+        compare(
+            "customer_cones",
+            &[&csr_build, &cone_dense_stage],
+            &[&cone_btree_stage],
+        ),
+        compare("ppdc_cones", &[&ppdc_dense_stage], &[&ppdc_hash_stage]),
+        compare(
+            "coverage",
+            &[&coverage_ids_stage],
+            &[&coverage_strings_stage],
+        ),
+    ];
+    for c in &comparisons {
+        eprintln!(
+            "membench: {} — dense {} allocs / {:.1} ms, baseline {} allocs / {:.1} ms ({:.1}× fewer allocations)",
+            c.stage,
+            c.dense_allocations,
+            c.dense_wall_ms,
+            c.baseline_allocations,
+            c.baseline_wall_ms,
+            c.allocation_reduction,
+        );
+    }
+
+    stages.push(csr_build);
+    stages.push(cone_dense_stage);
+    stages.push(cone_btree_stage);
+    stages.push(ppdc_dense_stage);
+    stages.push(ppdc_hash_stage);
+    stages.push(coverage_ids_stage);
+    stages.push(coverage_strings_stage);
+
+    let bench = BenchMem {
+        name: "membench".to_owned(),
+        scenario: if full { "default" } else { "small" }.to_owned(),
+        seed,
+        threads: 1,
+        stages,
+        comparisons,
+    };
+    let json = serde_json::to_string_pretty(&bench).expect("serializable");
+    let bench_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_mem.json");
+    std::fs::write(&bench_path, &json).expect("write BENCH_mem.json");
+    eprintln!("membench: wrote {}", bench_path.display());
+}

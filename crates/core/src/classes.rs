@@ -10,10 +10,10 @@
 //! the Tier-1 and hypergiant lists. Class labels follow the paper's
 //! convention (`S-TR`, `TR°`, `T1-TR`, `H-S`, …).
 
-use asgraph::{cone, AsGraph, Asn, Link};
+use asgraph::{cone, AsGraph, AsIndexer, Asn, ConeSizes, Link};
 use asregistry::{RegionMap, RirRegion};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// A regional link class.
@@ -74,13 +74,65 @@ impl TopoClass {
     }
 }
 
+/// The Stub/Transit/T1/hypergiant partition materialised once as a flat
+/// per-id class array, so per-link classification is two binary searches
+/// plus two array reads — no set probes, no `HashMap` lookups.
+#[derive(Debug, Clone, Default)]
+pub struct TopoIndex {
+    indexer: AsIndexer,
+    classes: Vec<TopoClass>,
+}
+
+impl TopoIndex {
+    /// Builds the partition over every AS mentioned by the cone sizes or the
+    /// refinement lists, with the paper's precedence T1 > H > TR > S.
+    #[must_use]
+    pub fn build(
+        cone_sizes: &ConeSizes,
+        tier1: &BTreeSet<Asn>,
+        hypergiants: &BTreeSet<Asn>,
+    ) -> Self {
+        let mut asns: Vec<Asn> = cone_sizes.indexer().iter().collect();
+        asns.extend(tier1.iter().copied());
+        asns.extend(hypergiants.iter().copied());
+        let indexer = AsIndexer::from_unsorted(asns);
+        let classes = indexer
+            .iter()
+            .map(|asn| {
+                if tier1.contains(&asn) {
+                    TopoClass::T1
+                } else if hypergiants.contains(&asn) {
+                    TopoClass::H
+                } else if cone_sizes.get(asn).unwrap_or(1) > 1 {
+                    TopoClass::TR
+                } else {
+                    TopoClass::S
+                }
+            })
+            .collect();
+        TopoIndex { indexer, classes }
+    }
+
+    /// The class of `asn`, or `None` for ASes outside the partition
+    /// (callers default those to [`TopoClass::S`]).
+    #[must_use]
+    pub fn class(&self, asn: Asn) -> Option<TopoClass> {
+        self.indexer.id(asn).map(|id| self.classes[id as usize])
+    }
+
+    /// The indexer the class array is aligned to.
+    #[must_use]
+    pub fn indexer(&self) -> &AsIndexer {
+        &self.indexer
+    }
+}
+
 /// Assigns regional and topological classes to links.
 #[derive(Debug, Clone)]
 pub struct LinkClassifier {
     region_map: RegionMap,
-    tier1: BTreeSet<Asn>,
-    hypergiants: BTreeSet<Asn>,
-    cone_sizes: Arc<HashMap<Asn, usize>>,
+    topo: TopoIndex,
+    cone_sizes: Arc<ConeSizes>,
 }
 
 impl LinkClassifier {
@@ -111,14 +163,14 @@ impl LinkClassifier {
     #[must_use]
     pub fn with_cone_sizes(
         region_map: RegionMap,
-        cone_sizes: Arc<HashMap<Asn, usize>>,
+        cone_sizes: Arc<ConeSizes>,
         tier1: BTreeSet<Asn>,
         hypergiants: BTreeSet<Asn>,
     ) -> Self {
+        let topo = TopoIndex::build(&cone_sizes, &tier1, &hypergiants);
         LinkClassifier {
             region_map,
-            tier1,
-            hypergiants,
+            topo,
             cone_sizes,
         }
     }
@@ -126,8 +178,14 @@ impl LinkClassifier {
     /// Shared handle to the customer-cone sizes backing the Stub/Transit
     /// split.
     #[must_use]
-    pub fn cone_sizes_arc(&self) -> Arc<HashMap<Asn, usize>> {
+    pub fn cone_sizes_arc(&self) -> Arc<ConeSizes> {
         Arc::clone(&self.cone_sizes)
+    }
+
+    /// The dense topological partition the classifier works over.
+    #[must_use]
+    pub fn topo_index(&self) -> &TopoIndex {
+        &self.topo
     }
 
     /// The service region of an AS.
@@ -145,17 +203,42 @@ impl LinkClassifier {
         Some(RegionClass::of(a, b))
     }
 
-    /// The topological class of an AS.
+    /// The topological class of an AS (ASes outside the partition are stubs).
     #[must_use]
     pub fn node_class(&self, asn: Asn) -> TopoClass {
-        if self.tier1.contains(&asn) {
-            TopoClass::T1
-        } else if self.hypergiants.contains(&asn) {
-            TopoClass::H
-        } else if self.cone_sizes.get(&asn).copied().unwrap_or(1) > 1 {
-            TopoClass::TR
-        } else {
-            TopoClass::S
+        self.topo.class(asn).unwrap_or(TopoClass::S)
+    }
+
+    /// A dense code for the (unordered) topological class pair of a link:
+    /// `min * 4 + max` with classes ordered H, S, T1, TR. Codes are what the
+    /// keyed coverage kernel aggregates on; [`LinkClassifier::topo_pair_label`]
+    /// maps them back to the paper's labels at the serialization boundary.
+    #[must_use]
+    pub fn topo_pair_id(&self, link: Link) -> u8 {
+        let (a, b) = (self.node_class(link.a()), self.node_class(link.b()));
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        (x as u8) * 4 + (y as u8)
+    }
+
+    /// The label behind a [`LinkClassifier::topo_pair_id`] code (`S-TR`,
+    /// `TR°`, `H-T1`, …), in the paper's H, S, T1, TR pair order.
+    ///
+    /// # Panics
+    /// If `code` is not a valid pair code.
+    #[must_use]
+    pub fn topo_pair_label(code: u8) -> &'static str {
+        match code {
+            0 => "H°",
+            1 => "H-S",
+            2 => "H-T1",
+            3 => "H-TR",
+            5 => "S°",
+            6 => "S-T1",
+            7 => "S-TR",
+            10 => "T1°",
+            11 => "T1-TR",
+            15 => "TR°",
+            _ => unreachable!("invalid topo pair code {code}"),
         }
     }
 
@@ -163,13 +246,7 @@ impl LinkClassifier {
     /// Pairs are ordered H, S, T1, TR (the paper's convention).
     #[must_use]
     pub fn topo_class(&self, link: Link) -> String {
-        let (a, b) = (self.node_class(link.a()), self.node_class(link.b()));
-        if a == b {
-            format!("{}°", a.label())
-        } else {
-            let (x, y) = if a <= b { (a, b) } else { (b, a) };
-            format!("{}-{}", x.label(), y.label())
-        }
+        Self::topo_pair_label(self.topo_pair_id(link)).to_string()
     }
 
     /// `true` if both endpoints classify as transit (the `TR°` links the

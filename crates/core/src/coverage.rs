@@ -30,11 +30,8 @@ const LINK_CHUNK: usize = 512;
 /// * `class_of` — class assignment; links mapping to `None` are discarded
 ///   (reserved endpoints, §5).
 ///
-/// Classification is sharded across the worker pool in fixed-size link
-/// chunks; per-chunk class counts are merged by summation, which is
-/// order-independent, so the output is byte-identical at any thread count.
-///
-/// Returns rows sorted by descending share, as the figures are.
+/// Convenience wrapper over [`coverage_by_class_keyed`] for callers whose
+/// classes are already label strings.
 #[must_use]
 pub fn coverage_by_class<F>(
     inferred: &BTreeSet<Link>,
@@ -44,13 +41,42 @@ pub fn coverage_by_class<F>(
 where
     F: Fn(Link) -> Option<String> + Sync,
 {
+    coverage_by_class_keyed(inferred, validated, class_of, |c| c.clone())
+}
+
+/// [`coverage_by_class`] over an arbitrary compact key type.
+///
+/// The hot loop aggregates on `C` (e.g. a `Copy` enum or a dense `u8` pair
+/// code) and only materialises label strings once per *class* via `label_of`
+/// at the very end — the serialization boundary. `label_of` must be
+/// injective over the keys actually produced; rows are sorted by
+/// (share desc, label asc) *after* labelling, so the output is byte-identical
+/// to the string-keyed form.
+///
+/// Classification is sharded across the worker pool in fixed-size link
+/// chunks; per-chunk class counts are merged by summation, which is
+/// order-independent, so the output is byte-identical at any thread count.
+///
+/// Returns rows sorted by descending share, as the figures are.
+#[must_use]
+pub fn coverage_by_class_keyed<C, F, L>(
+    inferred: &BTreeSet<Link>,
+    validated: &BTreeSet<Link>,
+    class_of: F,
+    label_of: L,
+) -> Vec<ClassCoverage>
+where
+    C: Ord + Send,
+    F: Fn(Link) -> Option<C> + Sync,
+    L: Fn(&C) -> String,
+{
     let _span = breval_obs::span!("coverage_by_class");
     let links: Vec<Link> = inferred.iter().copied().collect();
     let chunks = links.len().div_ceil(LINK_CHUNK);
     let partials = breval_par::parallel_map(chunks, |c| {
         let lo = c * LINK_CHUNK;
         let hi = (lo + LINK_CHUNK).min(links.len());
-        let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+        let mut per_class: BTreeMap<C, (usize, usize)> = BTreeMap::new();
         let mut classified = 0usize;
         for link in &links[lo..hi] {
             let Some(class) = class_of(*link) else {
@@ -65,7 +91,7 @@ where
         }
         (per_class, classified)
     });
-    let mut per_class: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    let mut per_class: BTreeMap<C, (usize, usize)> = BTreeMap::new();
     let mut classified_total = 0usize;
     for (partial, classified) in partials {
         classified_total += classified;
@@ -79,7 +105,7 @@ where
     let mut rows: Vec<ClassCoverage> = per_class
         .into_iter()
         .map(|(class, (links, validated))| ClassCoverage {
-            class,
+            class: label_of(&class),
             inferred_links: links,
             share: links as f64 / classified_total.max(1) as f64,
             validated_links: validated,

@@ -105,34 +105,34 @@ impl Heatmap {
         let config = config.sanitized();
         let links: Vec<Link> = links.into_iter().copied().collect();
         let chunks = links.len().div_ceil(LINK_CHUNK);
+        // Per-chunk counts are one flat row-major array (y * x_bins + x)
+        // instead of a Vec-of-Vecs: one allocation per chunk.
         let partials = breval_par::parallel_map(chunks, |c| {
             let lo = c * LINK_CHUNK;
             let hi = (lo + LINK_CHUNK).min(links.len());
-            let mut counts = vec![vec![0usize; config.x_bins]; config.y_bins];
+            let mut counts = vec![0usize; config.x_bins * config.y_bins];
             for link in &links[lo..hi] {
                 let (ma, mb) = (metric(link.a()), metric(link.b()));
                 let (small, large) = (ma.min(mb), ma.max(mb));
                 let x = bin(large, config.x_max, config.x_bins);
                 let y = bin(small, config.y_max, config.y_bins);
-                counts[y][x] += 1;
+                counts[y * config.x_bins + x] += 1;
             }
             counts
         });
-        let mut counts = vec![vec![0usize; config.x_bins]; config.y_bins];
+        let mut counts = vec![0usize; config.x_bins * config.y_bins];
         for partial in partials {
-            for (row, prow) in counts.iter_mut().zip(partial) {
-                for (cell, pcell) in row.iter_mut().zip(prow) {
-                    *cell += pcell;
-                }
+            for (cell, pcell) in counts.iter_mut().zip(partial) {
+                *cell += pcell;
             }
         }
         let total = links.len();
         breval_obs::counter("heatmap_links_binned", total as u64);
         let cells = counts
-            .into_iter()
+            .chunks(config.x_bins)
             .map(|row| {
-                row.into_iter()
-                    .map(|c| c as f64 / total.max(1) as f64)
+                row.iter()
+                    .map(|&c| c as f64 / total.max(1) as f64)
                     .collect()
             })
             .collect();

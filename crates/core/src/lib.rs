@@ -44,9 +44,9 @@ pub mod sampling;
 pub mod sanitize;
 pub mod timeline;
 
-pub use classes::{LinkClassifier, RegionClass, TopoClass};
+pub use classes::{LinkClassifier, RegionClass, TopoClass, TopoIndex};
 pub use cleaning::{AmbiguousPolicy, CleanValidation, CleaningConfig, CleaningReport};
-pub use coverage::{coverage_by_class, ClassCoverage};
+pub use coverage::{coverage_by_class, coverage_by_class_keyed, ClassCoverage};
 pub use heatmap::{Heatmap, HeatmapConfig};
 pub use metrics::{ClassEval, ConfusionMatrix, EvalTable};
 pub use pipeline::{Scenario, ScenarioConfig};

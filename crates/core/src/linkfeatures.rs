@@ -21,7 +21,7 @@
 //!     in DESIGN.md,
 //! 12. behaviour of the endpoints (MANRS members vs serial hijackers).
 
-use asgraph::{Asn, Link, PathStats};
+use asgraph::{Asn, ConeSizes, Link, PathStats};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -69,7 +69,7 @@ pub fn compute_link_metrics(
     topology: &Topology,
     snapshot: &RibSnapshot,
     stats: &PathStats,
-    ppdc: &HashMap<Asn, usize>,
+    ppdc: &ConeSizes,
 ) -> HashMap<Link, LinkMetrics> {
     struct Acc {
         vps: HashSet<Asn>,
@@ -136,10 +136,7 @@ pub fn compute_link_metrics(
                 left_ases: a.left.len().saturating_sub(1),
                 right_ases: a.right.len().saturating_sub(1),
                 transit_degree_diff: rel_diff(stats.transit_degree(x), stats.transit_degree(y)),
-                ppdc_diff: rel_diff(
-                    ppdc.get(&x).copied().unwrap_or(1),
-                    ppdc.get(&y).copied().unwrap_or(1),
-                ),
+                ppdc_diff: rel_diff(ppdc.get(x).unwrap_or(1), ppdc.get(y).unwrap_or(1)),
                 common_ixps,
                 common_facilities: 0,
                 manrs_endpoints: flag(|i| i.manrs),

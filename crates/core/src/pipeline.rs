@@ -4,11 +4,11 @@
 
 use crate::classes::LinkClassifier;
 use crate::cleaning::{clean, CleanValidation, CleaningConfig};
-use crate::coverage::{coverage_by_class, ClassCoverage};
+use crate::coverage::{coverage_by_class_keyed, ClassCoverage};
 use crate::heatmap::{Heatmap, HeatmapConfig};
 use crate::metrics::{EvalTable, ScoredLink};
 use crate::sanitize;
-use asgraph::{cone, AsGraph, Asn, Link, PathSet, PathStats};
+use asgraph::{cone, AsGraph, ConeSizes, Link, PathSet, PathStats};
 use asinfer::{AsRank, Classifier, GaoClassifier, Inference, PreparedPaths, ProbLink, TopoScope};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
@@ -101,10 +101,10 @@ pub struct Scenario {
     scored_cache: Mutex<BTreeMap<String, Arc<Vec<ScoredLink>>>>,
     /// Per-inference customer-cone sizes, computed lazily once each
     /// (see [`Scenario::cone_sizes_arc`]).
-    cone_cache: Mutex<BTreeMap<String, Arc<HashMap<Asn, usize>>>>,
+    cone_cache: Mutex<BTreeMap<String, Arc<ConeSizes>>>,
     /// Per-inference PPDC cone sizes, computed lazily once each
     /// (see [`Scenario::ppdc_sizes_arc`]).
-    ppdc_cache: Mutex<BTreeMap<String, Arc<HashMap<Asn, usize>>>>,
+    ppdc_cache: Mutex<BTreeMap<String, Arc<ConeSizes>>>,
 }
 
 impl Scenario {
@@ -230,16 +230,16 @@ impl Scenario {
     /// Customer-cone sizes over the named inference's relationship graph,
     /// computed at most once per classifier and shared (the ASRank entry is
     /// pre-seeded from the link classifier's own cones). Unknown names
-    /// yield an empty map.
+    /// yield an empty size table.
     #[must_use]
-    pub fn cone_sizes_arc(&self, classifier_name: &str) -> Arc<HashMap<Asn, usize>> {
+    pub fn cone_sizes_arc(&self, classifier_name: &str) -> Arc<ConeSizes> {
         let mut cache = self.cone_cache.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = cache.get(classifier_name) {
             return Arc::clone(hit);
         }
         let computed = Arc::new(match self.inferences.get(classifier_name) {
             Some(inference) => cone::customer_cone_sizes(&graph_of(inference)),
-            None => HashMap::new(),
+            None => ConeSizes::empty(),
         });
         cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
         computed
@@ -247,9 +247,9 @@ impl Scenario {
 
     /// PPDC cone sizes (paths × the named inference's relationships),
     /// computed at most once per classifier and shared. Unknown names yield
-    /// an empty map.
+    /// an empty size table.
     #[must_use]
-    pub fn ppdc_sizes_arc(&self, classifier_name: &str) -> Arc<HashMap<Asn, usize>> {
+    pub fn ppdc_sizes_arc(&self, classifier_name: &str) -> Arc<ConeSizes> {
         let mut cache = self.ppdc_cache.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(hit) = cache.get(classifier_name) {
             return Arc::clone(hit);
@@ -260,7 +260,7 @@ impl Scenario {
                     inference.rels.iter().map(|(l, r)| (*l, *r)).collect();
                 cone::ppdc_sizes(&self.paths, &rels)
             }
-            None => HashMap::new(),
+            None => ConeSizes::empty(),
         });
         cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
         computed
@@ -356,24 +356,36 @@ impl Scenario {
         }
     }
 
-    /// Fig. 1: regional link share vs validation coverage.
+    /// Fig. 1: regional link share vs validation coverage. Aggregates on the
+    /// `Copy` [`crate::classes::RegionClass`] key; labels are materialised
+    /// once per class at the end.
     #[must_use]
     pub fn fig1(&self) -> Vec<ClassCoverage> {
         let validated: BTreeSet<Link> = self.validation.labels.keys().copied().collect();
-        coverage_by_class(&self.inferred_links, &validated, |l| {
-            self.classifier.region_class(l).map(|c| c.label())
-        })
+        coverage_by_class_keyed(
+            &self.inferred_links,
+            &validated,
+            |l| self.classifier.region_class(l),
+            |c| c.label(),
+        )
     }
 
-    /// Fig. 2: topological link share vs validation coverage.
+    /// Fig. 2: topological link share vs validation coverage. Aggregates on
+    /// the dense `u8` pair code (region-gated like the paper: links with
+    /// reserved/unmapped endpoints are discarded).
     #[must_use]
     pub fn fig2(&self) -> Vec<ClassCoverage> {
         let validated: BTreeSet<Link> = self.validation.labels.keys().copied().collect();
-        coverage_by_class(&self.inferred_links, &validated, |l| {
-            self.classifier
-                .region_class(l)
-                .map(|_| self.classifier.topo_class(l))
-        })
+        coverage_by_class_keyed(
+            &self.inferred_links,
+            &validated,
+            |l| {
+                self.classifier
+                    .region_class(l)
+                    .map(|_| self.classifier.topo_pair_id(l))
+            },
+            |code| LinkClassifier::topo_pair_label(*code).to_string(),
+        )
     }
 
     /// Figs. 3 / 7 / 8 / 9: (inferred, validated) heatmaps over `TR°` links.
@@ -414,17 +426,15 @@ impl Scenario {
             HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => HeatmapConfig::ppdc(),
             HeatmapMetric::NodeDegree => HeatmapConfig::node_degree(),
         };
-        let ppdc: Arc<HashMap<asgraph::Asn, usize>> = match metric {
+        let ppdc: Arc<ConeSizes> = match metric {
             HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => self.ppdc_sizes_arc("asrank"),
-            _ => Arc::new(HashMap::new()),
+            _ => Arc::new(ConeSizes::empty()),
         };
         let metric_fn = |asn: asgraph::Asn| -> usize {
             match metric {
                 HeatmapMetric::TransitDegree => self.stats.transit_degree(asn),
                 HeatmapMetric::NodeDegree => self.stats.node_degree(asn),
-                HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => {
-                    ppdc.get(&asn).copied().unwrap_or(1)
-                }
+                HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => ppdc.get(asn).unwrap_or(1),
             }
         };
         (

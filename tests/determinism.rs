@@ -41,13 +41,26 @@ fn parallel_run_matches_single_thread() {
         }
         out
     };
+    // The dense kernels (CSR cone BFS with per-worker scratch, bitset PPDC):
+    // force computation while the thread cap is in force and snapshot the
+    // full (Asn, size) sequences, ordering included.
+    let dense_kernels = |s: &Scenario| {
+        let mut out = Vec::new();
+        for name in ["asrank", "problink"] {
+            out.push(s.cone_sizes_arc(name).iter().collect::<Vec<_>>());
+            out.push(s.ppdc_sizes_arc(name).iter().collect::<Vec<_>>());
+        }
+        out
+    };
     for seed in [5u64, 21] {
         breval::par::set_max_threads(Some(1));
         let single = Scenario::run(ScenarioConfig::small(seed));
         let single_analyses = analyses(&single);
+        let single_kernels = dense_kernels(&single);
         breval::par::set_max_threads(Some(4));
         let multi = Scenario::run(ScenarioConfig::small(seed));
         let multi_analyses = analyses(&multi);
+        let multi_kernels = dense_kernels(&multi);
         breval::par::set_max_threads(None);
 
         assert_eq!(
@@ -81,6 +94,11 @@ fn parallel_run_matches_single_thread() {
                 "seed {seed}: {label} JSON must not depend on thread count"
             );
         }
+        assert_eq!(
+            single_kernels, multi_kernels,
+            "seed {seed}: dense cone/PPDC sizes (values and iteration order) \
+             must not depend on thread count"
+        );
     }
 }
 

@@ -1,0 +1,73 @@
+//! A counting global allocator.
+//!
+//! Wraps [`std::alloc::System`] and counts allocation events and bytes in
+//! relaxed atomics, so a benchmark binary can report per-stage allocation
+//! deltas. The workspace is `forbid(unsafe_code)` outside `vendor/`; the
+//! `GlobalAlloc` impl (inherently unsafe) therefore lives here.
+//!
+//! Usage (binary-only):
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+//! let before = counting_alloc::allocation_count();
+//! // ... stage ...
+//! let allocs = counting_alloc::allocation_count() - before;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Allocation events since process start (alloc / alloc_zeroed / realloc).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested since process start (frees are not subtracted — this is a
+/// monotonic churn counter, not a live-bytes gauge).
+pub fn allocated_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// The counting allocator; install with `#[global_allocator]`.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A fresh instance (`const`, so it can back a `static`).
+    pub const fn new() -> Self {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
