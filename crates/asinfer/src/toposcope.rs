@@ -99,11 +99,16 @@ impl TopoScope {
         // Per-group inference. Groups are already sanitized (subsets of
         // `clean`), so each worker only derives the group's own statistics.
         let grouped: Vec<PathSet> = grouped.into_iter().map(PathSet::from_paths).collect();
-        let group_results: Vec<Inference> = breval_par::parallel_map(grouped.len(), |g| {
-            let group = &grouped[g];
-            let group_stats = group.stats();
-            base.infer_prepared(PreparedPaths::new(group, &group_stats))
-        });
+        // Sub-span around the per-group ensemble fan-out so the trace
+        // separates it from the sequential vote reconciliation below.
+        let group_results: Vec<Inference> = {
+            let _groups = breval_obs::span!("toposcope_groups");
+            breval_par::parallel_map(grouped.len(), |g| {
+                let group = &grouped[g];
+                let group_stats = group.stats();
+                base.infer_prepared(PreparedPaths::new(group, &group_stats))
+            })
+        };
 
         // Reconciliation: per-link votes across observing groups.
         let mut rels: BTreeMap<Link, Rel> = BTreeMap::new();

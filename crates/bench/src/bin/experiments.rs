@@ -21,6 +21,13 @@ use breval_core::{Scenario, ScenarioConfig};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+/// Count allocations so the run manifest / `BENCH_obs.json` attribute
+/// allocs + bytes to pipeline stages (span guards sample the thread-local
+/// counters at their boundaries). Without this installed those columns
+/// read 0.
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+
 struct Args {
     small: bool,
     seed: Option<u64>,
@@ -88,15 +95,42 @@ fn write_json<T: serde::Serialize>(out: &std::path::Path, name: &str, value: &T)
     breval_bench::write_result(out, &format!("{name}.json"), &json).expect("write json");
 }
 
+/// `parallel_map` per-item latency summary in `BenchObs` (conservative
+/// log-bucket quantiles from the `parallel_map_item_ns` histogram).
+#[derive(serde::Serialize, Default)]
+struct ItemLatency {
+    count: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+}
+
 /// Benchmark-style observability summary written to `BENCH_obs.json` at the
-/// repository root: per-stage wall time for the main pipeline run.
+/// repository root (schema 2): per-stage wall time, allocation attribution,
+/// pool item latencies, and counters for the main pipeline run.
+///
+/// Schema history: v1 carried `total_wall_ms`, which always duplicated
+/// `stage_wall_ms["scenario_run"]` — v2 drops it and adds `schema`,
+/// hardware context (`hardware_threads` / `thread_cap`, so `xtask
+/// obscheck` can compare baselines across machines honestly), `journal`,
+/// per-stage `stage_allocs` / `stage_alloc_bytes`, and
+/// `parallel_map_item_ns`.
 #[derive(serde::Serialize)]
 struct BenchObs {
+    schema: u32,
     name: String,
     scenario: String,
     seed: u64,
-    total_wall_ms: f64,
+    hardware_threads: u64,
+    thread_cap: u64,
+    /// Whether the event journal (`BREVAL_OBS_JOURNAL`) was on — journal
+    /// overhead is bounded but nonzero, so regression baselines should
+    /// compare like with like.
+    journal: bool,
     stage_wall_ms: std::collections::BTreeMap<String, f64>,
+    stage_allocs: std::collections::BTreeMap<String, u64>,
+    stage_alloc_bytes: std::collections::BTreeMap<String, u64>,
+    parallel_map_item_ns: ItemLatency,
     counters: std::collections::BTreeMap<String, u64>,
 }
 
@@ -167,10 +201,13 @@ struct BenchPar {
 
 fn main() {
     // The experiments binary is the primary observability consumer: it
-    // records a run manifest by default. Setting BREVAL_OBS explicitly
-    // (e.g. BREVAL_OBS=0) still wins.
+    // records a run manifest and an event-journal trace by default.
+    // Setting BREVAL_OBS / BREVAL_OBS_JOURNAL explicitly (e.g. =0) wins.
     if std::env::var(breval_obs::ENV_VAR).is_err() {
         breval_obs::set_enabled(true);
+    }
+    if std::env::var(breval_obs::JOURNAL_ENV_VAR).is_err() {
+        breval_obs::set_journal_enabled(true);
     }
     let args = parse_args();
     let mut config = if args.small {
@@ -864,8 +901,10 @@ overall: {}
 
     if breval_obs::enabled() {
         let scenario_name = if args.small { "small" } else { "default" };
+        let thread_cap = breval_par::max_threads() as u64;
         let manifest =
             breval_obs::RunManifest::capture(scenario_name, scenario.config.topology.seed)
+                .with_thread_cap(thread_cap)
                 .with_config("total_ases", scenario.config.topology.total_ases())
                 .with_config("targets", args.targets.len())
                 .with_config("observed_links", scenario.inferred_links.len())
@@ -878,22 +917,46 @@ overall: {}
         eprintln!("{}", manifest.render_table());
         eprintln!("run manifest written to {}", manifest_path.display());
 
-        let total_wall_ms = manifest
-            .stages
-            .iter()
-            .find(|s| s.name == "scenario_run")
-            .map(|s| s.wall_ms)
-            .unwrap_or(0.0);
+        if breval_obs::journal_enabled() {
+            let trace_path = args.out.join("trace.json");
+            breval_obs::write_trace_json(&trace_path).expect("write trace.json");
+            eprintln!("event-journal trace written to {}", trace_path.display());
+        }
+
+        let item_ns = manifest
+            .histograms
+            .get("parallel_map_item_ns")
+            .map(|h| ItemLatency {
+                count: h.count,
+                p50_ns: h.p50,
+                p90_ns: h.p90,
+                p99_ns: h.p99,
+            })
+            .unwrap_or_default();
         let bench = BenchObs {
+            schema: 2,
             name: "experiments".to_owned(),
             scenario: scenario_name.to_owned(),
             seed: scenario.config.topology.seed,
-            total_wall_ms,
+            hardware_threads: manifest.hardware_threads,
+            thread_cap,
+            journal: breval_obs::journal_enabled(),
             stage_wall_ms: manifest
                 .stages
                 .iter()
                 .map(|s| (s.name.clone(), s.wall_ms))
                 .collect(),
+            stage_allocs: manifest
+                .stages
+                .iter()
+                .map(|s| (s.name.clone(), s.alloc_count))
+                .collect(),
+            stage_alloc_bytes: manifest
+                .stages
+                .iter()
+                .map(|s| (s.name.clone(), s.alloc_bytes))
+                .collect(),
+            parallel_map_item_ns: item_ns,
             counters: manifest.counters.clone(),
         };
         // Pin to the repository root regardless of the invocation cwd.

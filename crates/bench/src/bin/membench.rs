@@ -88,6 +88,11 @@ fn main() {
     if std::env::var(breval_obs::ENV_VAR).is_err() {
         breval_obs::set_enabled(true);
     }
+    // Journal on by default too: the kernel-vs-baseline stages then show
+    // up as timeline slices in results/trace_membench.json.
+    if std::env::var(breval_obs::JOURNAL_ENV_VAR).is_err() {
+        breval_obs::set_journal_enabled(true);
+    }
     // Single-threaded so allocation counts (and per-worker scratch builds)
     // are identical run to run.
     breval_par::set_max_threads(Some(1));
@@ -279,4 +284,13 @@ fn main() {
         .join("BENCH_mem.json");
     std::fs::write(&bench_path, &json).expect("write BENCH_mem.json");
     eprintln!("membench: wrote {}", bench_path.display());
+
+    if breval_obs::journal_enabled() {
+        let trace_path = std::path::Path::new("results").join("trace_membench.json");
+        breval_obs::write_trace_json(&trace_path).expect("write membench trace");
+        eprintln!(
+            "membench: event-journal trace written to {}",
+            trace_path.display()
+        );
+    }
 }

@@ -64,6 +64,9 @@ pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot
         .filter_map(|cp| graph.node(cp.asn).map(|n| (n, *cp)))
         .collect();
 
+    // Sub-span around the parallel fan-out so the trace/manifest separate
+    // the per-origin export from the sequential graph/VP setup above.
+    let _export = breval_obs::span!("simulate_export");
     let per_origin: Vec<Vec<RouteObservation>> = breval_par::parallel_map_init(
         graph.len(),
         || Propagator::new(graph),

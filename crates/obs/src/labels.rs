@@ -26,14 +26,15 @@ pub struct LabelRegistry {
 }
 
 impl LabelRegistry {
-    /// Parses registry text: one label per line, `#` comments, `*` suffix
-    /// for prefix wildcards.
+    /// Parses registry text: one label per line, `#` comments (full-line or
+    /// inline — `label  # keep: <reason>` annotations ride in the inline
+    /// form), `*` suffix for prefix wildcards.
     #[must_use]
     pub fn parse(text: &str) -> Self {
         let mut reg = LabelRegistry::default();
         for raw in text.lines() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
                 continue;
             }
             if let Some(prefix) = line.strip_suffix('*') {
@@ -90,6 +91,15 @@ mod tests {
         assert!(!reg.is_registered("qux"));
         assert_eq!(reg.len(), 3);
         assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn inline_keep_comments_are_stripped() {
+        let reg = LabelRegistry::parse("foo  # keep: emitted via format!\nbar.*  # keep: dyn\n");
+        assert!(reg.is_registered("foo"));
+        assert!(!reg.is_registered("foo  # keep: emitted via format!"));
+        assert!(reg.is_registered("bar.gao"));
+        assert_eq!(reg.len(), 2);
     }
 
     #[test]

@@ -33,15 +33,33 @@
 //! # Manifest
 //!
 //! [`RunManifest::capture`] snapshots the registry into a serializable
-//! report (one stage record per span path, with calls, wall time, and the
-//! counters attributed to it) that renders to JSON ([`RunManifest::to_json`])
-//! or a human-readable table ([`RunManifest::render_table`]).
+//! report (one stage record per span path, with calls, wall time,
+//! allocation deltas, and the counters attributed to it) that renders to
+//! JSON ([`RunManifest::to_json`]) or a human-readable table
+//! ([`RunManifest::render_table`]). The manifest is **schema 2**: it
+//! carries `schema`, `hardware_threads`, and `thread_cap` so baselines can
+//! be compared across machines honestly.
+//!
+//! # Journal
+//!
+//! The [`journal`] module adds an opt-in second layer
+//! (`BREVAL_OBS_JOURNAL`): per-thread append-only event buffers recording
+//! span begin/end and counter events with timestamps and per-thread
+//! allocation samples, drained at run end into a Chrome
+//! `trace_event`-format timeline by [`journal::write_trace_json`]. Span
+//! guards sample the vendored `counting_alloc` thread-local counters at
+//! their boundaries whenever observability is on, so per-stage allocation
+//! attribution works with or without the journal.
 
 #![forbid(unsafe_code)]
 
+pub mod journal;
 pub mod labels;
 
-pub use labels::LabelRegistry;
+pub use journal::{
+    clock_ns, journal_enabled, set_journal_enabled, trace_json, write_trace_json, JOURNAL_ENV_VAR,
+};
+pub use labels::{LabelRegistry, REGISTRY_TEXT};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -85,9 +103,11 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
 }
 
-/// Clears all recorded spans and metrics. The on/off switch is unchanged.
+/// Clears all recorded spans, metrics, and journaled events. The on/off
+/// switches are unchanged.
 pub fn reset() {
     *REGISTRY.lock() = Registry::new();
+    journal::journal_reset();
 }
 
 thread_local! {
@@ -104,7 +124,7 @@ struct Registry {
     /// Global counter totals across all spans.
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, HistogramAccum>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 impl Registry {
@@ -123,19 +143,29 @@ impl Registry {
 struct SpanAccum {
     calls: u64,
     total_ns: u128,
+    /// Allocation events attributed to this span (thread-local deltas
+    /// sampled at span boundaries; see [`SpanGuard`]).
+    alloc_count: u64,
+    /// Bytes requested, same attribution.
+    alloc_bytes: u64,
 }
 
+/// A log-bucketed (power-of-two) histogram of `u64` values.
+///
+/// Public so hot loops (e.g. per-item timings in `breval-par`) can tally
+/// into a local `Histogram` without taking the registry lock per value,
+/// then fold it in once with [`histogram_merge`].
 #[derive(Clone)]
-struct HistogramAccum {
+pub struct Histogram {
     count: u64,
     sum: u64,
     /// `buckets[i]` counts values with `bucket_index(v) == i`.
     buckets: [u64; 65],
 }
 
-impl Default for HistogramAccum {
+impl Default for Histogram {
     fn default() -> Self {
-        HistogramAccum {
+        Histogram {
             count: 0,
             sum: 0,
             buckets: [0; 65],
@@ -143,14 +173,67 @@ impl Default for HistogramAccum {
     }
 }
 
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Tallies one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative count reaches
+    /// quantile `q` (in `[0, 1]`); `0` for an empty histogram. Quantiles
+    /// are therefore conservative: the true quantile is ≤ the reported
+    /// bucket bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(64)
+    }
+}
+
 /// Bucket `0` holds zero; bucket `i >= 1` holds values in
 /// `(2^(i-1) - 1, 2^i - 1]`, i.e. upper bound `2^i - 1`.
-fn bucket_index(value: u64) -> usize {
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
     (64 - value.leading_zeros()) as usize
 }
 
-/// Upper (inclusive) bound of bucket `i`.
-fn bucket_upper(i: usize) -> u64 {
+/// Upper (inclusive) bound of bucket `i` (saturates to `u64::MAX` from
+/// bucket 64 up).
+#[must_use]
+pub fn bucket_upper(i: usize) -> u64 {
     if i >= 64 {
         u64::MAX
     } else {
@@ -158,28 +241,66 @@ fn bucket_upper(i: usize) -> u64 {
     }
 }
 
+/// Live state of an open span: its path, start time, and the calling
+/// thread's absolute allocation counters at entry.
+struct SpanActive {
+    path: String,
+    start: Instant,
+    allocs0: u64,
+    bytes0: u64,
+}
+
+impl SpanActive {
+    fn open(path: String) -> Self {
+        let allocs0 = counting_alloc::thread_allocation_count();
+        let bytes0 = counting_alloc::thread_allocated_bytes();
+        if journal::journal_enabled() {
+            journal::record_begin(&path, allocs0, bytes0);
+        }
+        SpanActive {
+            path,
+            start: Instant::now(),
+            allocs0,
+            bytes0,
+        }
+    }
+
+    /// Closes the span: journals the end event and folds wall time and
+    /// allocation deltas into the registry. Consumes `self` by value.
+    fn close(self) {
+        let elapsed = self.start.elapsed().as_nanos();
+        let allocs1 = counting_alloc::thread_allocation_count();
+        let bytes1 = counting_alloc::thread_allocated_bytes();
+        if journal::journal_enabled() {
+            journal::record_end(allocs1, bytes1);
+        }
+        let mut reg = REGISTRY.lock();
+        let accum = reg.spans.entry(self.path).or_default();
+        accum.calls += 1;
+        accum.total_ns += elapsed;
+        accum.alloc_count += allocs1.saturating_sub(self.allocs0);
+        accum.alloc_bytes += bytes1.saturating_sub(self.bytes0);
+    }
+}
+
 /// RAII guard for a timed span; records on drop. Obtained from [`span`].
 pub struct SpanGuard {
     /// `None` when observability was off at creation: drop is free.
-    active: Option<(String, Instant)>,
+    active: Option<SpanActive>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some((path, start)) = self.active.take() {
-            let elapsed = start.elapsed().as_nanos();
+        if let Some(active) = self.active.take() {
             SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
                 // Pop our own frame; tolerate a foreign tail from guards
                 // dropped out of order.
-                if let Some(pos) = stack.iter().rposition(|p| *p == path) {
+                if let Some(pos) = stack.iter().rposition(|p| *p == active.path) {
                     stack.remove(pos);
                 }
             });
-            let mut reg = REGISTRY.lock();
-            let accum = reg.spans.entry(path).or_default();
-            accum.calls += 1;
-            accum.total_ns += elapsed;
+            active.close();
         }
     }
 }
@@ -201,7 +322,47 @@ pub fn span(name: &str) -> SpanGuard {
         path
     });
     SpanGuard {
-        active: Some((path, Instant::now())),
+        active: Some(SpanActive::open(path)),
+    }
+}
+
+/// RAII guard for a worker-side journal span (see [`journal_span`]).
+pub struct JournalSpanGuard {
+    active: Option<SpanActive>,
+}
+
+impl Drop for JournalSpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            active.close();
+        }
+    }
+}
+
+/// Opens a timed span named `name` under the current span context
+/// **without** entering the span stack: counters fired while it is open
+/// keep attributing to the surrounding (usually adopted) context, but the
+/// guard still records wall time + allocation deltas under
+/// `parent/name` in the registry and emits journal begin/end events for
+/// the thread timeline.
+///
+/// This is the instrument for pool workers: `breval-par` adopts the
+/// submitting stage's context on each worker, then wraps the worker's
+/// busy slice in `journal_span("pool_worker")` — the trace shows one
+/// slice per worker under the stage, and the manifest gains a
+/// `<stage>/pool_worker` row whose wall time is the summed worker busy
+/// time, while counter attribution to the stage itself is unchanged.
+#[must_use]
+pub fn journal_span(name: &str) -> JournalSpanGuard {
+    if !enabled() {
+        return JournalSpanGuard { active: None };
+    }
+    let path = SPAN_STACK.with(|s| match s.borrow().last() {
+        Some(parent) => format!("{parent}/{name}"),
+        None => name.to_owned(),
+    });
+    JournalSpanGuard {
+        active: Some(SpanActive::open(path)),
     }
 }
 
@@ -283,6 +444,9 @@ pub fn counter(name: &str, delta: u64) {
     if !enabled() {
         return;
     }
+    if journal::journal_enabled() {
+        journal::record_counter(name, delta);
+    }
     let path = SPAN_STACK.with(|s| s.borrow().last().cloned());
     let mut reg = REGISTRY.lock();
     *reg.counters.entry(name.to_owned()).or_insert(0) += delta;
@@ -315,10 +479,25 @@ pub fn histogram_record(name: &str, value: u64) {
         return;
     }
     let mut reg = REGISTRY.lock();
-    let h = reg.histograms.entry(name.to_owned()).or_default();
-    h.count += 1;
-    h.sum = h.sum.saturating_add(value);
-    h.buckets[bucket_index(value)] += 1;
+    reg.histograms
+        .entry(name.to_owned())
+        .or_default()
+        .record(value);
+}
+
+/// Folds a locally-tallied [`Histogram`] into the global histogram `name`
+/// under one registry lock — the bulk counterpart of [`histogram_record`]
+/// for per-worker tallies. No-op when observability is off or `local` is
+/// empty.
+pub fn histogram_merge(name: &str, local: &Histogram) {
+    if !enabled() || local.count == 0 {
+        return;
+    }
+    let mut reg = REGISTRY.lock();
+    reg.histograms
+        .entry(name.to_owned())
+        .or_default()
+        .merge(local);
 }
 
 /// One pipeline stage in a [`RunManifest`]: a span path with its call
@@ -331,29 +510,58 @@ pub struct StageRecord {
     pub calls: u64,
     /// Total wall time across all calls, in milliseconds.
     pub wall_ms: f64,
+    /// Allocation events attributed to this span (0 unless the binary
+    /// installs `counting_alloc` as its global allocator).
+    pub alloc_count: u64,
+    /// Bytes requested, same attribution and caveat.
+    pub alloc_bytes: u64,
     /// Counter increments attributed while this span was innermost.
     pub counters: BTreeMap<String, u64>,
 }
 
-/// Serializable snapshot of one histogram.
+/// Serializable snapshot of one histogram, with conservative log-bucket
+/// quantiles (each `pNN` is the inclusive upper bound of the bucket
+/// containing that quantile).
 #[derive(Debug, Clone, Serialize)]
 pub struct HistogramSnapshot {
     /// Number of recorded values.
     pub count: u64,
     /// Sum of recorded values (saturating).
     pub sum: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
     /// Non-empty buckets as `(inclusive upper bound, count)`.
     pub buckets: Vec<(u64, u64)>,
 }
+
+/// Manifest schema version emitted by this crate. History:
+/// 1 — implicit/unversioned (spans + counters only);
+/// 2 — adds `schema`/`hardware_threads`/`thread_cap`, per-stage
+///     `alloc_count`/`alloc_bytes`, histogram quantiles.
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// A full observability report for one run: configuration identity plus
 /// per-stage timings, counters, gauges, and histograms.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunManifest {
+    /// Schema version ([`MANIFEST_SCHEMA`]).
+    pub schema: u32,
     /// Human-readable run label, e.g. the scenario name.
     pub scenario: String,
     /// RNG seed the run was configured with.
     pub seed: u64,
+    /// `std::thread::available_parallelism()` on the capturing machine —
+    /// baselines recorded on wider machines are not comparable without it.
+    pub hardware_threads: u64,
+    /// Effective worker-thread cap the run was configured with
+    /// ([`RunManifest::with_thread_cap`]; 0 = not recorded). When
+    /// `hardware_threads < thread_cap` the run oversubscribed the machine
+    /// and timings should be read accordingly.
+    pub thread_cap: u64,
     /// Free-form configuration key/values recorded by the caller.
     pub config: BTreeMap<String, String>,
     /// One record per span path, sorted by path.
@@ -387,6 +595,8 @@ impl RunManifest {
                     name: path.clone(),
                     calls: accum.calls,
                     wall_ms: accum.total_ns as f64 / 1e6,
+                    alloc_count: accum.alloc_count,
+                    alloc_bytes: accum.alloc_bytes,
                     counters: reg.span_counters.get(path).cloned().unwrap_or_default(),
                 }
             })
@@ -407,14 +617,20 @@ impl RunManifest {
                     HistogramSnapshot {
                         count: h.count,
                         sum: h.sum,
+                        p50: h.quantile(0.50),
+                        p90: h.quantile(0.90),
+                        p99: h.quantile(0.99),
                         buckets,
                     },
                 )
             })
             .collect();
         RunManifest {
+            schema: MANIFEST_SCHEMA,
             scenario: scenario.to_owned(),
             seed,
+            hardware_threads: std::thread::available_parallelism().map_or(0, |n| n.get() as u64),
+            thread_cap: 0,
             config: BTreeMap::new(),
             stages,
             counters: reg.counters.clone(),
@@ -426,6 +642,14 @@ impl RunManifest {
     /// Adds a configuration key/value to the manifest.
     pub fn with_config(mut self, key: &str, value: impl std::fmt::Display) -> Self {
         self.config.insert(key.to_owned(), value.to_string());
+        self
+    }
+
+    /// Records the effective worker-thread cap the run was configured with
+    /// (e.g. `breval_par::max_threads()`).
+    #[must_use]
+    pub fn with_thread_cap(mut self, cap: u64) -> Self {
+        self.thread_cap = cap;
         self
     }
 
@@ -450,8 +674,8 @@ impl RunManifest {
             out.push_str(&format!("  config {k} = {v}\n"));
         }
         out.push_str(&format!(
-            "{:<44} {:>6} {:>12}  counters\n",
-            "stage", "calls", "wall_ms"
+            "{:<44} {:>6} {:>12} {:>10} {:>12}  counters\n",
+            "stage", "calls", "wall_ms", "allocs", "alloc_bytes"
         ));
         for stage in &self.stages {
             let counters = stage
@@ -461,8 +685,13 @@ impl RunManifest {
                 .collect::<Vec<_>>()
                 .join(" ");
             out.push_str(&format!(
-                "{:<44} {:>6} {:>12.3}  {}\n",
-                stage.name, stage.calls, stage.wall_ms, counters
+                "{:<44} {:>6} {:>12.3} {:>10} {:>12}  {}\n",
+                stage.name,
+                stage.calls,
+                stage.wall_ms,
+                stage.alloc_count,
+                stage.alloc_bytes,
+                counters
             ));
         }
         for (name, value) in &self.gauges {
@@ -503,12 +732,12 @@ pub fn write_run_manifest(label: &str, seed: u64) {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// The registry and switch are process-global, so tests that touch them
-    /// serialise on this lock.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    /// serialise on this lock (shared with `journal::tests`).
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn nested_spans_aggregate_under_parent_paths() {

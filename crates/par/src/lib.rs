@@ -57,11 +57,24 @@
 //! stage that submitted them instead of dangling at the manifest's top
 //! level. The adoption guard is scoped to the submission: a parked worker
 //! carries no stale context into the next call.
+//!
+//! When observability is on, each worker additionally wraps its busy slice
+//! in `breval_obs::journal_span("pool_worker")` (one timeline slice per
+//! worker per call, wall + allocation attribution under
+//! `<stage>/pool_worker`), tallies per-item runtimes into the
+//! `parallel_map_item_ns` histogram (locally per worker, merged once at
+//! slice end — no per-item lock), and the call flushes pool-health
+//! counters on the submitting thread: steal attempts / successes / lost
+//! races, items run by the caller vs in total, jobs submitted, and worker
+//! park/unpark deltas. All of it is behind the `BREVAL_OBS` switch; a
+//! disabled run takes the exact pre-instrumentation path. Timing uses
+//! `breval_obs::clock_ns` — the sanctioned clock reader — so this crate
+//! still contains no `std::time` (lint L004).
 
 #![forbid(unsafe_code)]
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Environment variable capping worker threads (`0` or unset = hardware).
@@ -151,6 +164,10 @@ fn is_nested() -> bool {
 /// the upper half of the largest remaining victim range.
 struct StealQueue {
     ranges: Vec<Mutex<(usize, usize)>>,
+    /// Pool-health tallies for this call (relaxed; read once at flush).
+    steal_attempts: AtomicU64,
+    steal_successes: AtomicU64,
+    steal_lost_races: AtomicU64,
 }
 
 impl StealQueue {
@@ -167,7 +184,12 @@ impl StealQueue {
                 Mutex::new(r)
             })
             .collect();
-        StealQueue { ranges }
+        StealQueue {
+            ranges,
+            steal_attempts: AtomicU64::new(0),
+            steal_successes: AtomicU64::new(0),
+            steal_lost_races: AtomicU64::new(0),
+        }
     }
 
     /// Pops the next index for worker `me`: front of its own range, else
@@ -199,6 +221,7 @@ impl StealQueue {
                 .max()
                 .filter(|(remaining, _)| *remaining > 0);
             let (_, victim) = victim?;
+            self.steal_attempts.fetch_add(1, Ordering::Relaxed);
             let stolen = {
                 let mut v = lock(&self.ranges[victim]);
                 let remaining = v.1.saturating_sub(v.0);
@@ -215,10 +238,12 @@ impl StealQueue {
             };
             if let Some((lo, hi)) = stolen {
                 debug_assert!(lo < hi, "a successful steal is never empty");
+                self.steal_successes.fetch_add(1, Ordering::Relaxed);
                 let mut own = lock(&self.ranges[me]);
                 *own = (lo + 1, hi);
                 return Some(lo);
             }
+            self.steal_lost_races.fetch_add(1, Ordering::Relaxed);
             // Lost the race: another thief emptied the snapshot's largest
             // victim first. Yield before re-scanning so draining the final
             // items doesn't degenerate into hot-spinning thieves locking
@@ -262,9 +287,28 @@ where
     let workers = max_threads().min(n);
     if workers <= 1 || is_nested() {
         // Single-threaded cap, or already inside a parallel work item:
-        // run inline on this thread (no submission, no queue).
+        // run inline on this thread (no submission, no queue). Item
+        // latencies and item counters are still tallied so the
+        // `parallel_map_item_ns` histogram and `pool_items_*` counters
+        // mean the same thing at every thread cap (no worker slice or
+        // steal/park counters, though — there is no pool activity).
         let _nested = NestedGuard::enter();
         let mut state = init();
+        if breval_obs::enabled() {
+            let mut items = breval_obs::Histogram::new();
+            let out = (0..n)
+                .map(|i| {
+                    let t0 = breval_obs::clock_ns();
+                    let v = f(&mut state, i);
+                    items.record(breval_obs::clock_ns().saturating_sub(t0));
+                    v
+                })
+                .collect();
+            breval_obs::histogram_merge("parallel_map_item_ns", &items);
+            breval_obs::counter("pool_items_total", n as u64);
+            breval_obs::counter("pool_items_caller", n as u64);
+            return out;
+        }
         return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
@@ -275,13 +319,28 @@ where
     let buckets: Vec<Mutex<Vec<(usize, T)>>> =
         (0..workers).map(|_| Mutex::new(Vec::new())).collect();
 
+    let obs_on = breval_obs::enabled();
     let run_worker = |me: usize| {
         let _nested = NestedGuard::enter();
         let _ctx = breval_obs::adopt_context(parent.as_deref());
         let mut state = init();
         let mut out = Vec::new();
-        while let Some(i) = queue.next(me) {
-            out.push((i, f(&mut state, i)));
+        if obs_on {
+            // One timeline slice per worker per call, plus per-item
+            // latencies tallied locally (merged under one lock at the end
+            // so the hot loop stays lock-free on the obs side).
+            let _slice = breval_obs::journal_span("pool_worker");
+            let mut items = breval_obs::Histogram::new();
+            while let Some(i) = queue.next(me) {
+                let t0 = breval_obs::clock_ns();
+                out.push((i, f(&mut state, i)));
+                items.record(breval_obs::clock_ns().saturating_sub(t0));
+            }
+            breval_obs::histogram_merge("parallel_map_item_ns", &items);
+        } else {
+            while let Some(i) = queue.next(me) {
+                out.push((i, f(&mut state, i)));
+            }
         }
         *lock(&buckets[me]) = out;
     };
@@ -289,6 +348,7 @@ where
     // The pool supplies `workers - 1` jobs; the caller drains worker 0's
     // range itself (and steals the rest if the pool is busy elsewhere), so
     // the call makes progress even with zero free resident workers.
+    let parks0 = obs_on.then(scoped_threadpool::pool_health);
     let pool = resident_pool(workers - 1);
     pool.scoped(|scope| {
         let run_worker = &run_worker;
@@ -297,6 +357,28 @@ where
         }
         run_worker(0);
     });
+    if let Some((parks0, unparks0, _)) = parks0 {
+        // Flushed on the submitting thread, so the counters attribute to
+        // the stage that ran this parallel call.
+        let (parks1, unparks1, _) = scoped_threadpool::pool_health();
+        breval_obs::counter("pool_items_total", n as u64);
+        breval_obs::counter("pool_items_caller", lock(&buckets[0]).len() as u64);
+        breval_obs::counter("pool_jobs_submitted", (workers - 1) as u64);
+        breval_obs::counter(
+            "pool_steal_attempts",
+            queue.steal_attempts.load(Ordering::Relaxed),
+        );
+        breval_obs::counter(
+            "pool_steal_successes",
+            queue.steal_successes.load(Ordering::Relaxed),
+        );
+        breval_obs::counter(
+            "pool_steal_lost_races",
+            queue.steal_lost_races.load(Ordering::Relaxed),
+        );
+        breval_obs::counter("pool_worker_parks", parks1.saturating_sub(parks0));
+        breval_obs::counter("pool_worker_unparks", unparks1.saturating_sub(unparks0));
+    }
 
     // Positional assembly restores index order independent of stealing.
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -515,6 +597,44 @@ mod tests {
         let pool = parallel_map(50, |i| i * 3);
         let spawn = baseline::parallel_map_spawn(50, |i| i * 3);
         assert_eq!(pool, spawn);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn pool_health_counters_flush_to_the_submitting_stage() {
+        let _t = locked();
+        breval_obs::set_enabled(true);
+        breval_obs::reset();
+        set_max_threads(Some(3));
+        {
+            let _outer = breval_obs::span("parbench_pool_map");
+            let _ = parallel_map(40, |i| i);
+        }
+        let m = breval_obs::RunManifest::capture("par-health", 0);
+        let stage = m
+            .stages
+            .iter()
+            .find(|s| s.name == "parbench_pool_map")
+            .expect("span recorded");
+        assert_eq!(stage.counters.get("pool_items_total"), Some(&40));
+        assert_eq!(stage.counters.get("pool_jobs_submitted"), Some(&2));
+        // The caller's share can legitimately be 0 (resident workers may
+        // drain everything, stealing the caller's range, before the caller
+        // pops its first item on a loaded machine) — only bounded above.
+        let caller = stage.counters["pool_items_caller"];
+        assert!(caller <= 40, "caller ran {caller} items");
+        // Worker busy slices appear as a child stage, one call per worker.
+        let slices = m
+            .stages
+            .iter()
+            .find(|s| s.name == "parbench_pool_map/pool_worker")
+            .expect("pool_worker slices recorded");
+        assert_eq!(slices.calls, 3);
+        // Item latencies land in the histogram with quantiles populated.
+        let h = &m.histograms["parallel_map_item_ns"];
+        assert_eq!(h.count, 40);
+        assert!(h.p50 <= h.p90 && h.p90 <= h.p99);
+        breval_obs::set_enabled(false);
         set_max_threads(None);
     }
 

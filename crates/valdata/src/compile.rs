@@ -181,18 +181,23 @@ pub fn compile_communities(
     };
     let observations = &snapshot.observations;
     let chunks = observations.len().div_ceil(OBS_CHUNK);
-    let chunk_labels = breval_par::parallel_map(chunks, |c| {
-        let lo = c * OBS_CHUNK;
-        let hi = (lo + OBS_CHUNK).min(observations.len());
-        let mut out = Vec::new();
-        for obs in &observations[lo..hi] {
-            decode_observation(&ctx, obs, &mut out);
-        }
-        out
-    });
-    for labels in chunk_labels {
-        for (link, rel) in labels {
-            set.add(link, rel, LabelSource::Communities);
+    {
+        // Sub-span around the parallel chunk decode: the trace separates
+        // it from the sequential leak/label bookkeeping in this function.
+        let _decode = breval_obs::span!("compile_observations");
+        let chunk_labels = breval_par::parallel_map(chunks, |c| {
+            let lo = c * OBS_CHUNK;
+            let hi = (lo + OBS_CHUNK).min(observations.len());
+            let mut out = Vec::new();
+            for obs in &observations[lo..hi] {
+                decode_observation(&ctx, obs, &mut out);
+            }
+            out
+        });
+        for labels in chunk_labels {
+            for (link, rel) in labels {
+                set.add(link, rel, LabelSource::Communities);
+            }
         }
     }
 

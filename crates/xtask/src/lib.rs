@@ -1,7 +1,7 @@
-//! # xtask — workspace static analysis
+//! # xtask — workspace static analysis and observability tooling
 //!
-//! A zero-dependency static-analysis pass with two layers, run as
-//! `cargo run -p xtask -- <lint|sanitize>`:
+//! A zero-dependency maintenance crate, run as
+//! `cargo run -p xtask -- <lint|sanitize|obsreport|obscheck>`:
 //!
 //! * **code lints** ([`lexer`], [`rules`], [`lint`]) — a token-level Rust
 //!   scanner enforcing the project rules L001–L006 (panic discipline,
@@ -11,7 +11,12 @@
 //!   `// breval-lint: allow(L001) -- <reason, mandatory>`;
 //! * **data sanitizer** (in `breval_core::sanitize`, driven from this
 //!   crate's binary) — domain invariants of the paper pipeline checked over
-//!   a freshly-run scenario and the persisted `results/` artifacts.
+//!   a freshly-run scenario and the persisted `results/` artifacts;
+//! * **observability reporting** ([`obsreport`]) — a self-time-sorted flame
+//!   summary and pool-utilisation table rendered from `BENCH_obs.json`;
+//! * **perf-regression gate** ([`obscheck`]) — compares a fresh
+//!   `BENCH_obs.json` against the committed baseline under generous
+//!   per-stage tolerance bands and fails CI on wall/alloc regressions.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,4 +24,6 @@
 pub mod json;
 pub mod lexer;
 pub mod lint;
+pub mod obscheck;
+pub mod obsreport;
 pub mod rules;

@@ -95,11 +95,25 @@ pub fn lint_source(rel: &Path, content: &str, registry: &LabelRegistry) -> Vec<V
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
     let registry = LabelRegistry::builtin();
     let mut out = Vec::new();
+    let mut emitted = std::collections::BTreeSet::new();
     for path in workspace_sources(root) {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let content = fs::read_to_string(&path)?;
+        let scanned = lexer::scan(&content);
+        rules::collect_emitted_labels(&scanned, &mut emitted);
         out.extend(lint_source(&rel, &content, &registry));
     }
+    // Stale direction of L003: every exact registry entry must have a live
+    // call site (or a `# keep:` waiver). Only meaningful over the full
+    // workspace, so `lint_paths` doesn't run it.
+    let registry_file = "crates/obs/labels.txt";
+    let registry_text = fs::read_to_string(root.join(registry_file))
+        .unwrap_or_else(|_| breval_obs::REGISTRY_TEXT.to_owned());
+    out.extend(rules::check_stale_labels(
+        &registry_text,
+        registry_file,
+        &emitted,
+    ));
     for path in workspace_manifests(root) {
         let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
         let content = fs::read_to_string(&path)?;

@@ -1,4 +1,5 @@
-//! Command-line driver: `cargo run -p xtask -- <lint|sanitize>`.
+//! Command-line driver:
+//! `cargo run -p xtask -- <lint|sanitize|obsreport|obscheck>`.
 //!
 //! * `lint [files…]` — run the L001–L007 project lints over the whole
 //!   workspace (default) or an explicit file list; exit 1 on any violation.
@@ -6,6 +7,13 @@
 //!   domain invariant in `breval_core::sanitize`, then cross-check the
 //!   persisted `results/*.json` observability manifests against the label
 //!   registry; exit 1 on any violation.
+//! * `obsreport [--file P]` — render `BENCH_obs.json` (default: the
+//!   workspace root copy) as a self-time-sorted flame summary plus a
+//!   pool-utilisation table.
+//! * `obscheck [--fresh P] [--baseline P]` — compare a fresh
+//!   `BENCH_obs.json` against the committed baseline
+//!   (`crates/xtask/baselines/bench_obs_small.json`); exit 1 on any wall or
+//!   allocation regression.
 
 #![forbid(unsafe_code)]
 
@@ -20,8 +28,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("sanitize") => run_sanitize(&args[1..]),
+        Some("obsreport") => run_obsreport(&args[1..]),
+        Some("obscheck") => run_obscheck(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint [files…] | sanitize [--seed N]>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint [files…] | sanitize [--seed N] \
+                 | obsreport [--file P] | obscheck [--fresh P] [--baseline P]>"
+            );
             ExitCode::from(2)
         }
     }
@@ -90,8 +103,71 @@ fn run_sanitize(args: &[String]) -> ExitCode {
 }
 
 fn parse_seed(args: &[String]) -> Option<u64> {
-    let pos = args.iter().position(|a| a == "--seed")?;
-    args.get(pos + 1)?.parse().ok()
+    flag_value(args, "--seed")?.parse().ok()
+}
+
+/// The operand following `flag`, if both are present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.get(pos + 1).map(String::as_str)
+}
+
+/// Reads and parses one JSON document, reporting failures on stderr.
+fn load_json(path: &Path) -> Result<Json, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("cannot read {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    xtask::json::parse(&text).map_err(|e| {
+        eprintln!("{}: invalid JSON: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+fn run_obsreport(args: &[String]) -> ExitCode {
+    let path = flag_value(args, "--file")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_obs.json"));
+    match load_json(&path) {
+        Ok(doc) => {
+            print!("{}", xtask::obsreport::render(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(code) => code,
+    }
+}
+
+fn run_obscheck(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let baseline_path = flag_value(args, "--baseline")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("crates/xtask/baselines/bench_obs_small.json"));
+    let fresh_path = flag_value(args, "--fresh")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("BENCH_obs.json"));
+    let (baseline, fresh) = match (load_json(&baseline_path), load_json(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let report = xtask::obscheck::check(&baseline, &fresh, &xtask::obscheck::Tolerances::default());
+    for note in &report.notes {
+        println!("obscheck: note — {note}");
+    }
+    for r in &report.regressions {
+        println!("REGRESSION {r}");
+    }
+    println!(
+        "obscheck: compared {} stage(s) of {} against {}: {} regression(s)",
+        report.stages_compared,
+        fresh_path.display(),
+        baseline_path.display(),
+        report.regressions.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// Validates the labels the scenario run just produced, straight from the

@@ -1,0 +1,309 @@
+//! `obscheck` — perf-regression gate over `BENCH_obs.json`.
+//!
+//! Compares a freshly generated bench-observability document against the
+//! committed baseline (`crates/xtask/baselines/bench_obs_small.json`) with
+//! per-stage tolerance bands; the CLI exits 1 on any regression so CI can
+//! gate on it.
+//!
+//! The bands are deliberately generous: CI runs on small shared containers
+//! (often a single hardware thread carrying a thread cap of 4), where wall
+//! times carry scheduler noise that dwarfs real code changes. The gate is
+//! therefore an order-of-magnitude tripwire, not a micro-benchmark:
+//!
+//! * **walls** regress only past `baseline × wall_factor`, and never below
+//!   an absolute floor (`min_wall_ms`) that tiny sub-stages may drift
+//!   within freely;
+//! * **allocations** are nearly deterministic for a fixed seed, so their
+//!   band is tighter (`alloc_factor`), again floored (`min_allocs`) so
+//!   attribution jitter on near-empty stages can't trip the gate;
+//! * a stage present in the baseline but absent from the fresh run is a
+//!   regression (instrumentation was lost); a *new* stage is only a note,
+//!   so adding spans doesn't require lockstep baseline updates;
+//! * when the fresh run's `thread_cap` exceeds its `hardware_threads` the
+//!   report carries an honesty note: utilisation and wall numbers from an
+//!   oversubscribed box are noisy by construction.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Tolerance bands for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerances {
+    /// A stage wall regresses past `baseline × wall_factor`.
+    pub wall_factor: f64,
+    /// Absolute wall floor (ms) below which stages never regress.
+    pub min_wall_ms: f64,
+    /// A stage's allocation count regresses past `baseline × alloc_factor`.
+    pub alloc_factor: f64,
+    /// Absolute allocation floor below which stages never regress.
+    pub min_allocs: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            wall_factor: 10.0,
+            min_wall_ms: 50.0,
+            alloc_factor: 2.0,
+            min_allocs: 20_000.0,
+        }
+    }
+}
+
+/// Outcome of one baseline-vs-fresh comparison.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Hard failures: the CLI exits 1 when any are present.
+    pub regressions: Vec<String>,
+    /// Informational findings (new stages, oversubscription honesty note).
+    pub notes: Vec<String>,
+    /// Number of baseline stages compared.
+    pub stages_compared: usize,
+}
+
+impl CheckReport {
+    /// True when no regression was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn num(j: Option<&Json>) -> f64 {
+    match j {
+        Some(Json::Num(n)) => *n,
+        _ => 0.0,
+    }
+}
+
+fn num_map(doc: &Json, key: &str) -> BTreeMap<String, f64> {
+    doc.get(key)
+        .and_then(Json::as_obj)
+        .map(|m| m.iter().map(|(k, v)| (k.clone(), num(Some(v)))).collect())
+        .unwrap_or_default()
+}
+
+/// Compares `fresh` against `baseline` under the given tolerance bands.
+#[must_use]
+pub fn check(baseline: &Json, fresh: &Json, tol: &Tolerances) -> CheckReport {
+    let mut rep = CheckReport::default();
+
+    // The documents must describe the same experiment or the comparison is
+    // meaningless — schema, scenario and seed all have to line up.
+    let (bs, fs) = (num(baseline.get("schema")), num(fresh.get("schema")));
+    if bs != fs {
+        rep.regressions
+            .push(format!("schema mismatch: baseline {bs} vs fresh {fs}"));
+        return rep;
+    }
+    let b_scen = baseline.get("scenario").and_then(Json::as_str);
+    let f_scen = fresh.get("scenario").and_then(Json::as_str);
+    if b_scen != f_scen {
+        rep.regressions.push(format!(
+            "scenario mismatch: baseline {b_scen:?} vs fresh {f_scen:?}"
+        ));
+        return rep;
+    }
+    let (b_seed, f_seed) = (num(baseline.get("seed")), num(fresh.get("seed")));
+    if b_seed != f_seed {
+        rep.regressions.push(format!(
+            "seed mismatch: baseline {b_seed} vs fresh {f_seed}"
+        ));
+        return rep;
+    }
+
+    let hw = num(fresh.get("hardware_threads"));
+    let cap = num(fresh.get("thread_cap"));
+    if hw > 0.0 && cap > hw {
+        rep.notes.push(format!(
+            "fresh run is oversubscribed ({cap} pool threads on {hw} hardware \
+             thread(s)); wall comparisons carry scheduler noise"
+        ));
+    }
+
+    let b_walls = num_map(baseline, "stage_wall_ms");
+    let f_walls = num_map(fresh, "stage_wall_ms");
+    rep.stages_compared = b_walls.len();
+    for (path, &base) in &b_walls {
+        match f_walls.get(path) {
+            None => rep
+                .regressions
+                .push(format!("stage {path:?} missing from fresh run")),
+            Some(&fresh_w) => {
+                let limit = (base * tol.wall_factor).max(tol.min_wall_ms);
+                // Inclusive: an exactly-`wall_factor`× blowup is a regression.
+                if fresh_w >= limit && fresh_w > tol.min_wall_ms {
+                    rep.regressions.push(format!(
+                        "stage {path:?} wall {fresh_w:.1} ms exceeds {limit:.1} ms \
+                         (baseline {base:.1} ms × {:.0})",
+                        tol.wall_factor
+                    ));
+                }
+            }
+        }
+    }
+    for path in f_walls.keys().filter(|p| !b_walls.contains_key(*p)) {
+        rep.notes
+            .push(format!("new stage {path:?} has no baseline yet"));
+    }
+
+    let b_allocs = num_map(baseline, "stage_allocs");
+    let f_allocs = num_map(fresh, "stage_allocs");
+    for (path, &base) in &b_allocs {
+        let Some(&fresh_a) = f_allocs.get(path) else {
+            continue; // already reported via the wall map
+        };
+        let limit = (base * tol.alloc_factor).max(tol.min_allocs);
+        if fresh_a > limit {
+            rep.regressions.push(format!(
+                "stage {path:?} allocations {fresh_a:.0} exceed {limit:.0} \
+                 (baseline {base:.0} × {:.0})",
+                tol.alloc_factor
+            ));
+        }
+    }
+
+    // Item-latency tail: bucketed to powers of two, so the generous wall
+    // factor is the right band here too.
+    let b_p99 = num(baseline
+        .get("parallel_map_item_ns")
+        .and_then(|l| l.get("p99_ns")));
+    let f_p99 = num(fresh
+        .get("parallel_map_item_ns")
+        .and_then(|l| l.get("p99_ns")));
+    if b_p99 > 0.0 && f_p99 > (b_p99 * tol.wall_factor).max(1e6) {
+        rep.regressions.push(format!(
+            "parallel_map item p99 {f_p99:.0} ns exceeds {:.0} ns \
+             (baseline {b_p99:.0} ns × {:.0})",
+            (b_p99 * tol.wall_factor).max(1e6),
+            tol.wall_factor
+        ));
+    }
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    const BASE: &str = r#"{
+        "schema": 2, "name": "experiments", "scenario": "small", "seed": 7,
+        "hardware_threads": 4, "thread_cap": 4, "journal": true,
+        "stage_wall_ms": {"run": 400.0, "run/infer": 300.0, "run/tiny": 0.4},
+        "stage_allocs": {"run": 100000, "run/infer": 60000, "run/tiny": 50},
+        "stage_alloc_bytes": {"run": 1, "run/infer": 1, "run/tiny": 1},
+        "parallel_map_item_ns": {"count": 10, "p50_ns": 1000, "p90_ns": 2000, "p99_ns": 100000},
+        "counters": {}
+    }"#;
+
+    fn doc(text: &str) -> Json {
+        parse(text).expect("valid test JSON")
+    }
+
+    #[test]
+    fn identical_documents_are_clean() {
+        let b = doc(BASE);
+        let rep = check(&b, &b, &Tolerances::default());
+        assert!(rep.is_clean(), "unexpected: {:?}", rep.regressions);
+        assert_eq!(rep.stages_compared, 3);
+    }
+
+    #[test]
+    fn ten_x_stage_wall_regression_is_caught() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""run/infer": 300.0"#, r#""run/infer": 3300.0"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert_eq!(rep.regressions.len(), 1, "got: {:?}", rep.regressions);
+        assert!(rep.regressions[0].contains("run/infer"));
+        assert!(rep.regressions[0].contains("wall"));
+    }
+
+    #[test]
+    fn tiny_stage_jitter_stays_under_the_floor() {
+        // 0.4 ms → 30 ms is a 75× blowup but still under min_wall_ms.
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""run/tiny": 0.4"#, r#""run/tiny": 30.0"#));
+        assert!(check(&b, &f, &Tolerances::default()).is_clean());
+    }
+
+    #[test]
+    fn missing_stage_is_a_regression_new_stage_is_a_note() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""run/tiny": 0.4"#, r#""run/extra": 1.0"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep
+            .regressions
+            .iter()
+            .any(|r| r.contains("run/tiny") && r.contains("missing")));
+        assert!(rep.notes.iter().any(|n| n.contains("run/extra")));
+    }
+
+    #[test]
+    fn doubled_allocations_regress_but_small_counts_do_not() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""run/infer": 60000"#, r#""run/infer": 130000"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep.regressions.iter().any(|r| r.contains("allocations")));
+        // 50 → 5000 allocs is a 100× blowup but under the absolute floor.
+        let f = doc(&BASE.replace(r#""run/tiny": 50"#, r#""run/tiny": 5000"#));
+        assert!(check(&b, &f, &Tolerances::default()).is_clean());
+    }
+
+    #[test]
+    fn latency_tail_regression_is_caught() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""p99_ns": 100000"#, r#""p99_ns": 2000000"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep.regressions.iter().any(|r| r.contains("p99")));
+    }
+
+    #[test]
+    fn mismatched_runs_refuse_to_compare() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""seed": 7"#, r#""seed": 8"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep.regressions.iter().any(|r| r.contains("seed mismatch")));
+        let f = doc(&BASE.replace(r#""schema": 2"#, r#""schema": 1"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep
+            .regressions
+            .iter()
+            .any(|r| r.contains("schema mismatch")));
+    }
+
+    #[test]
+    fn oversubscription_gets_an_honesty_note() {
+        let b = doc(BASE);
+        let f = doc(&BASE.replace(r#""hardware_threads": 4"#, r#""hardware_threads": 1"#));
+        let rep = check(&b, &f, &Tolerances::default());
+        assert!(rep.is_clean());
+        assert!(rep.notes.iter().any(|n| n.contains("oversubscribed")));
+    }
+
+    #[test]
+    fn committed_baseline_is_self_consistent() {
+        let path =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines/bench_obs_small.json");
+        let text = std::fs::read_to_string(&path).expect("committed baseline exists");
+        let b = doc(&text);
+        let rep = check(&b, &b, &Tolerances::default());
+        assert!(rep.is_clean());
+        assert!(rep.stages_compared >= 10, "baseline looks truncated");
+    }
+
+    #[test]
+    fn committed_regression_fixture_trips_the_gate() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("baselines");
+        let base = doc(&std::fs::read_to_string(dir.join("bench_obs_small.json"))
+            .expect("committed baseline exists"));
+        let fixture = doc(
+            &std::fs::read_to_string(dir.join("regression_fixture_10x.json"))
+                .expect("committed regression fixture exists"),
+        );
+        let rep = check(&base, &fixture, &Tolerances::default());
+        assert!(!rep.is_clean(), "10× fixture must regress");
+        assert!(rep.regressions.iter().any(|r| r.contains("wall")));
+    }
+}

@@ -186,14 +186,21 @@ fn check_l001(ctx: &FileContext, scanned: &ScannedFile, out: &mut Vec<Violation>
     }
 }
 
-/// The obs entry points whose first argument is a label.
-const OBS_LABEL_CALLS: [&str; 5] = [
+/// The obs entry points whose first argument is a label; call-site literals
+/// are checked against the registry (L003).
+const OBS_LABEL_CALLS: [&str; 7] = [
     "breval_obs::span!(",
     "breval_obs::span(",
     "breval_obs::counter(",
     "breval_obs::gauge_set(",
     "breval_obs::histogram_record(",
+    "breval_obs::histogram_merge(",
+    "breval_obs::journal_span(",
 ];
+
+/// Read-side obs entry points: their literals don't *create* labels but do
+/// prove a label is alive, so the stale-label sweep counts them as uses.
+const OBS_LABEL_READS: [&str; 1] = ["breval_obs::span_wall_ms("];
 
 /// L003 — every label literal passed to an obs entry point must be in the
 /// registry; non-literal (dynamic) labels need a waiver explaining which
@@ -235,6 +242,75 @@ fn check_l003(ctx: &FileContext, scanned: &ScannedFile, out: &mut Vec<Violation>
             }
         }
     }
+}
+
+/// Collects every label literal passed to an obs entry point (writes *and*
+/// reads, tests included — a label exercised only by a test is still alive)
+/// in one scanned file, feeding the workspace-wide stale-label sweep.
+pub fn collect_emitted_labels(
+    scanned: &ScannedFile,
+    into: &mut std::collections::BTreeSet<String>,
+) {
+    for (i, info) in scanned.lines.iter().enumerate() {
+        for call in OBS_LABEL_CALLS.iter().chain(OBS_LABEL_READS.iter()) {
+            for at in info.code.match_indices(call).map(|(p, _)| p) {
+                if let Some(label) = scanned.string_arg_at(i, at + call.len()) {
+                    // Span-path arguments (`a/b/c`) prove each segment alive.
+                    for seg in label.split('/') {
+                        into.insert(seg.to_owned());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// L003 (stale direction) — every *exact* entry in `crates/obs/labels.txt`
+/// must be emitted by some call site, or carry an inline
+/// `# keep: <reason>` annotation (the waiver path for labels built
+/// dynamically, e.g. `format!("infer_{name}")`). Wildcard entries are
+/// implicitly kept — they exist precisely for dynamic suffixes. Runs only
+/// on whole-workspace lints: a partial file list cannot prove staleness.
+#[must_use]
+pub fn check_stale_labels(
+    registry_text: &str,
+    registry_file: &str,
+    emitted: &std::collections::BTreeSet<String>,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, raw) in registry_text.lines().enumerate() {
+        let (entry, comment) = match raw.split_once('#') {
+            Some((e, c)) => (e.trim(), c.trim()),
+            None => (raw.trim(), ""),
+        };
+        if entry.is_empty() || entry.ends_with('*') {
+            continue;
+        }
+        if let Some(rest) = comment.strip_prefix("keep:") {
+            let reason = rest.trim();
+            if reason.is_empty() {
+                out.push(Violation {
+                    file: registry_file.to_owned(),
+                    line: i + 1,
+                    rule: "L003",
+                    message: format!("label \"{entry}\" has a `# keep:` with no reason"),
+                });
+            }
+            continue;
+        }
+        if !emitted.contains(entry) {
+            out.push(Violation {
+                file: registry_file.to_owned(),
+                line: i + 1,
+                rule: "L003",
+                message: format!(
+                    "label \"{entry}\" is registered but never emitted — remove it or \
+                     annotate `# keep: <reason>` if it is built dynamically"
+                ),
+            });
+        }
+    }
+    out
 }
 
 /// L004 — wall-clock access (`std::time::Instant` / `SystemTime`) is only
@@ -462,6 +538,38 @@ mod tests {
         // Dynamic labels need a waiver.
         let v = check_source(&c, &scan("breval_obs::span(&format!(\"x_{n}\"));\n"));
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn emitted_labels_cover_writes_reads_and_path_segments() {
+        let src = "breval_obs::span!(\"alpha\");\n\
+                   breval_obs::journal_span(\"beta\");\n\
+                   breval_obs::histogram_merge(\"gamma\", &h);\n\
+                   breval_obs::span_wall_ms(\"delta/epsilon\");\n\
+                   breval_obs::counter(&format!(\"dyn_{n}\"), 1);\n";
+        let mut emitted = std::collections::BTreeSet::new();
+        collect_emitted_labels(&scan(src), &mut emitted);
+        for label in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+            assert!(emitted.contains(label), "{label} not collected");
+        }
+        assert_eq!(emitted.len(), 5, "dynamic labels must not be collected");
+    }
+
+    #[test]
+    fn stale_labels_flagged_unless_kept_or_wildcard() {
+        let registry = "# header\nalive\ndead_label\n\
+                        dyn_built  # keep: format!-constructed\n\
+                        bad_keep  # keep:\n\
+                        prefix.*\n";
+        let emitted: std::collections::BTreeSet<String> =
+            std::iter::once("alive".to_owned()).collect();
+        let v = check_stale_labels(registry, "crates/obs/labels.txt", &emitted);
+        assert_eq!(v.len(), 2, "got: {v:?}");
+        assert!(v[0].message.contains("dead_label"));
+        assert!(v[0].message.contains("never emitted"));
+        assert_eq!(v[0].line, 3);
+        assert!(v[1].message.contains("bad_keep"));
+        assert!(v[1].message.contains("no reason"));
     }
 
     #[test]

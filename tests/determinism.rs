@@ -132,3 +132,48 @@ fn observability_does_not_change_outputs() {
         "eval_table JSON must not depend on BREVAL_OBS"
     );
 }
+
+/// The event journal must be a pure observer too: with obs on, toggling
+/// `BREVAL_OBS_JOURNAL` may not change a single output byte — at a thread
+/// cap of 1 and of 4 (the journal's per-worker buffers and span-boundary
+/// allocation sampling sit directly on the pool's hot path).
+#[test]
+fn journal_does_not_change_outputs() {
+    let run = |journal: bool, threads: usize| {
+        breval::obs::set_enabled(true);
+        breval::obs::set_journal_enabled(journal);
+        breval::obs::reset();
+        breval::par::set_max_threads(Some(threads));
+        let s = Scenario::run(ScenarioConfig::small(13));
+        breval::par::set_max_threads(None);
+        breval::obs::set_journal_enabled(false);
+        breval::obs::set_enabled(false);
+        (
+            s.snapshot.observations.clone(),
+            serde_json::to_string(&s.fig1()).unwrap(),
+            serde_json::to_string(&s.fig2()).unwrap(),
+        )
+    };
+    for threads in [1usize, 4] {
+        let off = run(false, threads);
+        let on = run(true, threads);
+        assert_eq!(
+            off.0, on.0,
+            "{threads} thread(s): observations must not depend on the journal"
+        );
+        assert_eq!(
+            off.1, on.1,
+            "{threads} thread(s): fig1 JSON must not depend on the journal"
+        );
+        assert_eq!(
+            off.2, on.2,
+            "{threads} thread(s): fig2 JSON must not depend on the journal"
+        );
+    }
+    // And across thread counts, journal on: still byte-identical.
+    assert_eq!(
+        run(true, 1),
+        run(true, 4),
+        "journal-on runs must not depend on thread count"
+    );
+}

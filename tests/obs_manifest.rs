@@ -106,9 +106,38 @@ fn small_scenario_manifest_covers_all_stages() {
         manifest.counters["rels_assigned.asrank"]
     );
 
+    // Schema-2 identity fields: version stamp, the capturing machine's
+    // parallelism, and the (caller-supplied) thread cap.
+    assert_eq!(manifest.schema, obs::MANIFEST_SCHEMA);
+    assert_eq!(manifest.schema, 2);
+    assert!(
+        manifest.hardware_threads >= 1,
+        "available_parallelism must resolve on the test machine"
+    );
+    assert_eq!(manifest.thread_cap, 0, "cap is 0 until with_thread_cap");
+    let capped = obs::RunManifest::capture("integration", 99).with_thread_cap(4);
+    assert_eq!(capped.thread_cap, 4);
+
+    // The parallel stages tallied item latencies into the pool histogram,
+    // with conservative (bucket upper bound) quantiles in order.
+    let items = manifest
+        .histograms
+        .get("parallel_map_item_ns")
+        .expect("parallel_map item histogram recorded");
+    assert!(items.count > 0, "no parallel_map items tallied");
+    assert!(items.p50 <= items.p90 && items.p90 <= items.p99);
+    assert!(items.sum > 0);
+
+    // Pool-health counters flowed out of the parallel stages.
+    assert_eq!(
+        manifest.counters["pool_items_total"], items.count,
+        "every parallel_map item is tallied exactly once"
+    );
+
     // The manifest serializes to JSON and renders a table.
     let json = manifest.to_json();
     assert!(json.contains("scenario_run/infer_all/infer_asrank"));
+    assert!(json.contains("\"schema\": 2") || json.contains("\"schema\":2"));
     let table = manifest.render_table();
     assert!(table.contains("scenario_run/clean_validation"));
 

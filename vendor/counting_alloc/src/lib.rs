@@ -1,9 +1,12 @@
 //! A counting global allocator.
 //!
-//! Wraps [`std::alloc::System`] and counts allocation events and bytes in
-//! relaxed atomics, so a benchmark binary can report per-stage allocation
-//! deltas. The workspace is `forbid(unsafe_code)` outside `vendor/`; the
-//! `GlobalAlloc` impl (inherently unsafe) therefore lives here.
+//! Wraps [`std::alloc::System`] and counts allocation events and bytes —
+//! process-wide in relaxed atomics and per-thread in `const`-initialised
+//! thread-locals — so a benchmark binary can report per-stage allocation
+//! deltas and the observability journal can attribute allocations to the
+//! span (and thread) that made them. The workspace is `forbid(unsafe_code)`
+//! outside `vendor/`; the `GlobalAlloc` impl (inherently unsafe) therefore
+//! lives here.
 //!
 //! Usage (binary-only):
 //!
@@ -14,12 +17,24 @@
 //! // ... stage ...
 //! let allocs = counting_alloc::allocation_count() - before;
 //! ```
+//!
+//! The thread-local counters use `const { Cell::new(0) }` initialisers, so
+//! touching them from inside the allocator never allocates (which would
+//! recurse); accesses go through `LocalKey::try_with` so allocations during
+//! thread teardown (after TLS destruction) are still served, merely
+//! uncounted per-thread.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+}
 
 /// Allocation events since process start (alloc / alloc_zeroed / realloc).
 pub fn allocation_count() -> u64 {
@@ -30,6 +45,28 @@ pub fn allocation_count() -> u64 {
 /// monotonic churn counter, not a live-bytes gauge).
 pub fn allocated_bytes() -> u64 {
     BYTES.load(Ordering::Relaxed)
+}
+
+/// Allocation events performed by the *calling thread* since it started.
+/// Monotonic; sample before/after a region to attribute its allocations.
+pub fn thread_allocation_count() -> u64 {
+    THREAD_ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Bytes requested by the *calling thread* since it started (monotonic
+/// churn, like [`allocated_bytes`]).
+pub fn thread_allocated_bytes() -> u64 {
+    THREAD_BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
+#[inline]
+fn count(size: usize) {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    // Ignore errors: during TLS teardown the per-thread cells are gone, but
+    // the allocation itself must still succeed.
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + size as u64));
 }
 
 /// The counting allocator; install with `#[global_allocator]`.
@@ -50,14 +87,12 @@ impl Default for CountingAlloc {
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         System.alloc_zeroed(layout)
     }
 
@@ -66,8 +101,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        count(new_size);
         System.realloc(ptr, layout, new_size)
     }
 }

@@ -27,13 +27,36 @@ use std::any::Any;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 /// A type-erased job after lifetime erasure.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Process-wide pool-health counters (all pools in the process share them;
+/// the one consumer in this workspace keeps a single resident pool).
+///
+/// A *park* is a worker finding the job channel empty and settling into a
+/// blocking `recv`; an *unpark* is that blocked worker being woken by a job
+/// arriving. Jobs picked up without blocking (channel non-empty on poll)
+/// count neither. `jobs` counts every job a worker executed.
+static PARKS: AtomicU64 = AtomicU64::new(0);
+static UNPARKS: AtomicU64 = AtomicU64::new(0);
+static JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide pool-health counters:
+/// `(parks, unparks, jobs_executed)`. Monotonic; diff two snapshots to
+/// attribute activity to a region.
+#[must_use]
+pub fn pool_health() -> (u64, u64, u64) {
+    (
+        PARKS.load(Ordering::Relaxed),
+        UNPARKS.load(Ordering::Relaxed),
+        JOBS.load(Ordering::Relaxed),
+    )
+}
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -129,11 +152,30 @@ impl Pool {
 
 fn worker_loop(rx: &Mutex<Receiver<Job>>) {
     loop {
-        // The guard is a temporary: dropped as soon as `recv` returns, so
-        // other workers can pull the next job while this one runs.
-        let job = lock(rx).recv();
+        // Each `lock(rx)` guard is confined to its own `let` statement (a
+        // `match` scrutinee would keep the guard alive across the arms and
+        // self-deadlock on the re-lock below), so other workers can pull
+        // the next job while this one runs. Poll first so a hot worker
+        // (jobs already queued) is distinguished from one that has to park
+        // in the blocking `recv`.
+        let polled = lock(rx).try_recv();
+        let job = match polled {
+            Ok(job) => Ok(job),
+            Err(TryRecvError::Disconnected) => break, // pool dropped
+            Err(TryRecvError::Empty) => {
+                PARKS.fetch_add(1, Ordering::Relaxed);
+                let job = lock(rx).recv();
+                if job.is_ok() {
+                    UNPARKS.fetch_add(1, Ordering::Relaxed);
+                }
+                job
+            }
+        };
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                JOBS.fetch_add(1, Ordering::Relaxed);
+                job()
+            }
             Err(_) => break, // pool dropped; channel closed
         }
     }
