@@ -62,6 +62,7 @@ pub fn infer_clique(stats: &PathStats, params: CliqueParams) -> BTreeSet<Asn> {
         .copied()
         .take(params.seed_candidates)
         .collect();
+    // breval-lint: allow(L009) -- ranking is non-empty: guarded by the is_empty early return above
     let top = ranking[0];
     let rank: HashMap<Asn, usize> = ranking.iter().enumerate().map(|(i, a)| (*a, i)).collect();
     let top_neighbors = adj.get(&top).cloned().unwrap_or_default();

@@ -24,7 +24,7 @@ use crate::index::AsIndexer;
 use crate::link::Link;
 use crate::paths::PathSet;
 use crate::rel::Rel;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Computes the full customer cone of `asn` over `graph` (self included).
 ///
@@ -210,7 +210,7 @@ impl PpdcCones {
 /// according to `rels`, every `di` is placed into `x`'s cone. The AS itself is
 /// always a member of its own cone.
 #[must_use]
-pub fn ppdc_cones(paths: &PathSet, rels: &HashMap<Link, Rel>) -> PpdcCones {
+pub fn ppdc_cones(paths: &PathSet, rels: &BTreeMap<Link, Rel>) -> PpdcCones {
     // Intern every AS observed on a multi-hop compressed path — exactly the
     // key set of `PathStats::ases` (only `windows(2)` contribute degree),
     // derived here without building the full path statistics. One compression
@@ -275,7 +275,7 @@ fn compress_into(hops: &[Asn], buf: &mut Vec<Asn>) {
 
 /// PPDC cone *sizes* (see [`ppdc_cones`]), in dense ASN-ordered form.
 #[must_use]
-pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> ConeSizes {
+pub fn ppdc_sizes(paths: &PathSet, rels: &BTreeMap<Link, Rel>) -> ConeSizes {
     let sizes = ppdc_cones(paths, rels).sizes();
     breval_obs::counter("ppdc_sizes_computed", sizes.len() as u64);
     sizes
@@ -286,7 +286,7 @@ pub fn ppdc_sizes(paths: &PathSet, rels: &HashMap<Link, Rel>) -> ConeSizes {
 /// proptests can measure and verify the dense kernels against them.
 pub mod baseline {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::{HashMap, HashSet};
 
     /// [`customer_cone_sizes`](super::customer_cone_sizes) as shipped before
     /// the dense core: one fresh `BTreeSet` BFS per AS.
@@ -303,7 +303,7 @@ pub mod baseline {
     #[must_use]
     pub fn ppdc_cones_hash(
         paths: &PathSet,
-        rels: &HashMap<Link, Rel>,
+        rels: &BTreeMap<Link, Rel>,
     ) -> HashMap<Asn, HashSet<Asn>> {
         let mut cones: HashMap<Asn, HashSet<Asn>> = HashMap::new();
         for op in paths.paths() {
@@ -418,7 +418,7 @@ mod tests {
 
     #[test]
     fn ppdc_counts_only_provider_or_peer_upstream() {
-        let mut rels = HashMap::new();
+        let mut rels = BTreeMap::new();
         rels.insert(l(1, 2), p2c(1)); // 1 provider of 2
         rels.insert(l(2, 3), p2c(2)); // 2 provider of 3
         rels.insert(l(4, 2), p2c(2)); // 2 provider of 4 → upstream 4→2 is customer side
@@ -440,7 +440,7 @@ mod tests {
 
     #[test]
     fn ppdc_peer_upstream_counts() {
-        let mut rels = HashMap::new();
+        let mut rels = BTreeMap::new();
         rels.insert(l(1, 2), Rel::P2p);
         rels.insert(l(2, 3), p2c(2));
         let mut ps = PathSet::new();
@@ -451,7 +451,7 @@ mod tests {
 
     #[test]
     fn ppdc_bitsets_match_hash_baseline() {
-        let mut rels = HashMap::new();
+        let mut rels = BTreeMap::new();
         rels.insert(l(1, 2), p2c(1));
         rels.insert(l(2, 3), p2c(2));
         rels.insert(l(3, 4), p2c(3));

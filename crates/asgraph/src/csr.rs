@@ -160,6 +160,7 @@ impl CsrGraph {
     fn cone_bfs(&self, id: u32, scratch: &mut ConeScratch) {
         scratch.begin(self.node_count());
         scratch.mark(id);
+        // breval-lint: allow(L010) -- push into scratch queue whose capacity was reserved by begin()
         scratch.queue.push(id);
         let mut head = 0;
         while head < scratch.queue.len() {
@@ -167,6 +168,7 @@ impl CsrGraph {
             head += 1;
             for &customer in self.customers(current) {
                 if scratch.mark(customer) {
+                    // breval-lint: allow(L010) -- push into scratch queue whose capacity was reserved by begin()
                     scratch.queue.push(customer);
                 }
             }
@@ -200,6 +202,7 @@ impl ConeScratch {
     fn begin(&mut self, n: usize) {
         if self.visited.len() != n {
             self.visited.clear();
+            // breval-lint: allow(L010) -- sanctioned scratch growth point: begin() amortizes allocation across cones
             self.visited.resize(n, 0);
             self.epoch = 0;
         }

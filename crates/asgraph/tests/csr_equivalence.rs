@@ -100,7 +100,7 @@ proptest! {
     /// members, same sizes.
     #[test]
     fn ppdc_bitsets_match_baseline(ps in arb_pathset(), g in arb_graph()) {
-        let rels: std::collections::HashMap<Link, Rel> = g.links().collect();
+        let rels: std::collections::BTreeMap<Link, Rel> = g.links().collect();
         let dense = cone::ppdc_cones(&ps, &rels);
         let reference = cone::baseline::ppdc_cones_hash(&ps, &rels);
         prop_assert_eq!(dense.indexer().len(), reference.len());

@@ -88,6 +88,7 @@ impl NaiveBayes {
 
     /// Log-posterior of each class for a feature vector.
     fn log_posteriors(&self, f: &LinkFeatures) -> [f64; 2] {
+        // breval-lint: allow(L009) -- totals is a fixed-size [f64; 2]; indices 0 and 1 are in bounds by type
         let grand_total = self.totals[0] + self.totals[1];
         let mut out = [0.0; 2];
         for class in [CLASS_P2C, CLASS_P2P] {
@@ -166,6 +167,7 @@ impl ProbLink {
                         };
                         Rel::P2c { provider }
                     }
+                    // breval-lint: allow(L009) -- the proposal stage never emits s2s; exhaustive-match invariant
                     RelClass::S2s => unreachable!("never proposed"),
                 };
                 next.insert(*link, new_rel);

@@ -84,6 +84,7 @@ impl Unari {
             }
             totals[class] += 1.0;
         }
+        // breval-lint: allow(L009) -- totals is a fixed-size [f64; 2]; indices 0 and 1 are in bounds by type
         let grand = totals[0] + totals[1];
 
         let log_posterior = |f: &LinkFeatures, class: usize| -> f64 {

@@ -119,7 +119,7 @@ fn main() {
     let snapshot = bgpsim::simulate(&topology);
     let paths = snapshot.to_pathset(false).sanitized();
     let stats = paths.stats();
-    let rels: std::collections::HashMap<asgraph::Link, asgraph::Rel> =
+    let rels: std::collections::BTreeMap<asgraph::Link, asgraph::Rel> =
         topology.links.iter().map(|(l, r)| (*l, r.base)).collect();
 
     let mut stages: Vec<MemStage> = Vec::new();

@@ -213,6 +213,7 @@ pub fn rib_communities(topology: &Topology, path: &[Asn]) -> Vec<AnyCommunity> {
     let mut compressed: Vec<Asn> = path.to_vec();
     compressed.dedup();
     if compressed.len() >= 2 {
+        // breval-lint: allow(L009) -- guarded by the len() >= 2 check on the line above
         let (receiver, sender) = (compressed[0], compressed[1]);
         if let Some(link) = asgraph::Link::new(receiver, sender) {
             if let Some(gt) = topology.gt_rel(link) {

@@ -290,6 +290,7 @@ impl PathAttribute {
                         reason: "ORIGIN must be 1 byte",
                     });
                 }
+                // breval-lint: allow(L009) -- value.len() == 1 validated above
                 PathAttribute::Origin(value[0])
             }
             type_code::AS_PATH => PathAttribute::AsPath(decode_segments(&value, enc)?),
@@ -303,6 +304,7 @@ impl PathAttribute {
                         reason: "expected 4-byte value",
                     });
                 }
+                // breval-lint: allow(L009) -- value.len() == 4 validated above; indices 0..=3 are in bounds
                 let v = u32::from_be_bytes([value[0], value[1], value[2], value[3]]);
                 match tc {
                     type_code::NEXT_HOP => PathAttribute::NextHop(v),

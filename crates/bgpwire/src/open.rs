@@ -71,6 +71,7 @@ impl Capability {
                     });
                 }
                 Ok(Capability::FourByteAsn(Asn(u32::from_be_bytes([
+                    // breval-lint: allow(L009) -- value.len() == 4 validated above; indices 0..=3 are in bounds
                     value[0], value[1], value[2], value[3],
                 ]))))
             }
@@ -311,7 +312,9 @@ impl NotificationMessage {
             });
         }
         Ok(NotificationMessage {
+            // breval-lint: allow(L009) -- body.len() >= 2 enforced by the Truncated early return above
             code: body[0],
+            // breval-lint: allow(L009) -- body.len() >= 2 enforced by the Truncated early return above
             subcode: body[1],
             data: body[2..].to_vec(),
         })

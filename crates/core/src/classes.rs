@@ -238,6 +238,7 @@ impl LinkClassifier {
             10 => "T1°",
             11 => "T1-TR",
             15 => "TR°",
+            // breval-lint: allow(L009) -- pair codes are built from the enum match above; other values impossible
             _ => unreachable!("invalid topo pair code {code}"),
         }
     }

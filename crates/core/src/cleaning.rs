@@ -156,6 +156,7 @@ pub fn clean(set: &ValidationSet, org: &As2Org, cfg: &CleaningConfig) -> CleanVa
                 report.s2s_only_dropped += 1;
                 None
             }
+            // breval-lint: allow(L009) -- the len() == 1 match arm guarantees one element
             1 => Some(distinct[0]),
             _ => {
                 report.ambiguous_found += 1;
@@ -165,12 +166,15 @@ pub fn clean(set: &ValidationSet, org: &As2Org, cfg: &CleaningConfig) -> CleanVa
                         None
                     }
                     AmbiguousPolicy::P2pIfFirstP2p => {
+                        // breval-lint: allow(L009) -- the wildcard arm runs only when distinct.len() >= 2
                         Some(if distinct[0].class() == RelClass::P2p {
                             Rel::P2p
                         } else {
+                            // breval-lint: allow(L009) -- the wildcard arm runs only when distinct.len() >= 2
                             first_p2c(&distinct).unwrap_or(distinct[0])
                         })
                     }
+                    // breval-lint: allow(L009) -- the wildcard arm runs only when distinct.len() >= 2
                     AmbiguousPolicy::AlwaysP2c => Some(first_p2c(&distinct).unwrap_or(distinct[0])),
                 }
             }

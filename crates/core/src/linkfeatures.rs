@@ -24,7 +24,7 @@
 use asgraph::{Asn, ConeSizes, Link, PathStats};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use topogen::Topology;
 
 /// The Appendix C feature vector for one link.
@@ -70,7 +70,7 @@ pub fn compute_link_metrics(
     snapshot: &RibSnapshot,
     stats: &PathStats,
     ppdc: &ConeSizes,
-) -> HashMap<Link, LinkMetrics> {
+) -> BTreeMap<Link, LinkMetrics> {
     struct Acc {
         vps: HashSet<Asn>,
         prefixes: HashSet<bgpwire::Ipv4Prefix>,
@@ -78,7 +78,9 @@ pub fn compute_link_metrics(
         left: HashSet<Asn>,
         right: HashSet<Asn>,
     }
-    let mut acc: HashMap<Link, Acc> = HashMap::new();
+    // Link-keyed BTreeMap so the returned metric table (and everything
+    // rendered from it) iterates in deterministic Link order (L008).
+    let mut acc: BTreeMap<Link, Acc> = BTreeMap::new();
 
     for obs in &snapshot.observations {
         let mut hops = obs.path.clone();
@@ -166,7 +168,7 @@ pub struct FeatureErrorRow {
 #[must_use]
 pub fn error_by_feature_quartile(
     scored: &[crate::metrics::ScoredLink],
-    metrics: &HashMap<Link, LinkMetrics>,
+    metrics: &BTreeMap<Link, LinkMetrics>,
     feature: &'static str,
     value: impl Fn(&LinkMetrics) -> f64,
 ) -> Vec<FeatureErrorRow> {
@@ -217,7 +219,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
+        let rels: BTreeMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let ppdc = cone::ppdc_sizes(&paths, &rels);
         let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         // Every observed link gets a metric row.
@@ -245,7 +247,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
+        let rels: BTreeMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let ppdc = cone::ppdc_sizes(&paths, &rels);
         let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         assert!(!topo.ixps.is_empty(), "generator must emit IXPs");
@@ -259,7 +261,7 @@ mod tests {
         let (topo, snap) = world();
         let paths = snap.to_pathset(false).sanitized();
         let stats = paths.stats();
-        let rels: HashMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
+        let rels: BTreeMap<Link, Rel> = topo.links.iter().map(|(l, r)| (*l, r.base)).collect();
         let ppdc = cone::ppdc_sizes(&paths, &rels);
         let metrics = compute_link_metrics(&topo, &snap, &stats, &ppdc);
         // Score ground truth against itself with a few synthetic errors.

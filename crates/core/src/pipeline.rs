@@ -12,7 +12,7 @@ use asgraph::{cone, AsGraph, ConeSizes, Link, PathSet, PathStats};
 use asinfer::{AsRank, Classifier, GaoClassifier, Inference, PreparedPaths, ProbLink, TopoScope};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use topogen::{Topology, TopologyConfig};
 use valdata::{ValDataConfig, ValidationSet};
@@ -116,6 +116,7 @@ impl Scenario {
         if cfg!(debug_assertions) {
             match topology.ground_truth_graph() {
                 Ok(g) => sanitize::debug_assert_clean("generate", &sanitize::check_graph(&g)),
+                // breval-lint: allow(L009) -- debug-only abort: an invalid generated topology is unrecoverable
                 Err(e) => panic!("generated topology is not a valid graph: {e:?}"),
             }
         }
@@ -255,11 +256,7 @@ impl Scenario {
             return Arc::clone(hit);
         }
         let computed = Arc::new(match self.inferences.get(classifier_name) {
-            Some(inference) => {
-                let rels: HashMap<Link, asgraph::Rel> =
-                    inference.rels.iter().map(|(l, r)| (*l, *r)).collect();
-                cone::ppdc_sizes(&self.paths, &rels)
-            }
+            Some(inference) => cone::ppdc_sizes(&self.paths, &inference.rels),
             None => ConeSizes::empty(),
         });
         cache.insert(classifier_name.to_owned(), Arc::clone(&computed));

@@ -362,6 +362,7 @@ where
         // the stage that ran this parallel call.
         let (parks1, unparks1, _) = scoped_threadpool::pool_health();
         breval_obs::counter("pool_items_total", n as u64);
+        // breval-lint: allow(L009) -- workers >= 2 past the inline early return, so bucket 0 exists
         breval_obs::counter("pool_items_caller", lock(&buckets[0]).len() as u64);
         breval_obs::counter("pool_jobs_submitted", (workers - 1) as u64);
         breval_obs::counter(

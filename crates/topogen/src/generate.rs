@@ -160,6 +160,7 @@ impl<'c> Builder<'c> {
         }
         let base = per_region(&self.cfg.publish_prob_region, region);
         let mult = match tier {
+            // breval-lint: allow(L009) -- Tier1 is early-returned above; exhaustive-match invariant
             TierClass::Tier1 => unreachable!("handled above"),
             TierClass::Transit => {
                 if customers >= self.cfg.publish_large_customer_threshold {
@@ -323,6 +324,7 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
         };
         tier1.push(asn);
     }
+    // breval-lint: allow(L009) -- the Tier-1 seeding loop requires n_tier1 >= 1 by config contract
     let cogent = tier1[0];
     for i in 0..tier1.len() {
         for j in (i + 1)..tier1.len() {
@@ -679,6 +681,7 @@ pub fn generate(cfg: &TopologyConfig) -> Topology {
             break;
         }
         // Merge organisations: everyone takes the first member's org.
+        // breval-lint: allow(L009) -- group.len() >= 2 enforced by the break above
         let org = b.ases.get(&group[0]).map(|i| i.org.clone());
         if let Some(org) = org {
             for asn in &group[1..] {

@@ -1,0 +1,18 @@
+//! L008 clean fixture: the same shape as `l008_violate`, but the map is a
+//! `BTreeMap`, so iteration order is deterministic.
+
+use std::collections::BTreeMap;
+
+pub fn run() {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    m.insert(1, 2);
+    let mut total = 0;
+    for (k, v) in m.iter() {
+        total += k + v;
+    }
+    emit(total);
+}
+
+pub fn emit(total: u32) {
+    let _ = total;
+}

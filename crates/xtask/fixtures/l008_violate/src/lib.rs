@@ -1,0 +1,18 @@
+//! L008 fixture: iterates a `HashMap` in a function from which the
+//! registered sink is coreachable — emitted order depends on hasher state.
+
+use std::collections::HashMap;
+
+pub fn run() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let mut total = 0;
+    for (k, v) in m.iter() {
+        total += k + v;
+    }
+    emit(total);
+}
+
+pub fn emit(total: u32) {
+    let _ = total;
+}

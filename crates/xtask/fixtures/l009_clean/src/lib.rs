@@ -1,0 +1,14 @@
+//! L009 clean fixture: windows-bound literal indexing (in bounds by
+//! construction) and an `expect` with an invariant message are allowed.
+
+pub fn run(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for w in xs.windows(2) {
+        acc += w[0] + w[1];
+    }
+    acc + helper(xs)
+}
+
+fn helper(xs: &[u32]) -> u32 {
+    xs.iter().copied().max().expect("invariant: caller passes a non-empty slice")
+}

@@ -1,0 +1,11 @@
+//! L009 fixture: an `unwrap()` in the entry itself plus a literal index in
+//! a transitively reachable helper — both can abort the pipeline.
+
+pub fn run(xs: &[u32]) -> u32 {
+    let first = xs.first().unwrap();
+    first + helper(xs)
+}
+
+fn helper(xs: &[u32]) -> u32 {
+    xs[0]
+}

@@ -1,0 +1,8 @@
+//! L010 clean fixture: the kernel writes into caller-provided storage and
+//! never allocates.
+
+pub fn kernel(buf: &mut [u32]) {
+    for (i, v) in buf.iter_mut().enumerate() {
+        *v = i as u32;
+    }
+}

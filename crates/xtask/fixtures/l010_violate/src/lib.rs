@@ -1,0 +1,11 @@
+//! L010 fixture: the registered kernel allocates directly (`push`) and
+//! transitively (`format!` in a callee).
+
+pub fn kernel(buf: &mut Vec<u32>) {
+    buf.push(1);
+    helper();
+}
+
+fn helper() {
+    let _s = format!("x");
+}

@@ -1,0 +1,10 @@
+//! L011 clean fixture: the parallel closure is a pure per-item computation
+//! with no locks, spans, or interior-mutability writes.
+
+pub fn parallel_map<T>(n: usize, f: impl Fn(usize) -> T) -> Vec<T> {
+    (0..n).map(f).collect()
+}
+
+pub fn fanout(xs: &[u32]) -> Vec<u32> {
+    parallel_map(xs.len(), |i| xs[i] * 2)
+}

@@ -122,6 +122,13 @@ pub fn scan(text: &str) -> ScannedFile {
         if state == State::LineComment {
             state = State::Normal;
         }
+        // A string (normal or raw) continuing from the previous line: start a
+        // fresh fragment at column 0 so *every* line's literal content is
+        // recorded, not just the opening line's (the AST token stream needs
+        // full fidelity for multi-line literals).
+        if matches!(state, State::Str | State::RawStr(_)) {
+            cur_string = Some((0, String::new()));
+        }
 
         let mut i = 0usize;
         while i < chars.len() {
@@ -145,8 +152,14 @@ pub fn scan(text: &str) -> ScannedFile {
                         state = State::Str;
                         cur_string = Some((i, String::new()));
                         code.push('"');
-                    } else if c == 'r' && matches!(next, Some('"') | Some('#')) {
-                        // Possible raw string r"…" / r#"…"#.
+                    } else if c == 'r'
+                        && matches!(next, Some('"') | Some('#'))
+                        && raw_str_boundary(&chars, i)
+                    {
+                        // Possible raw string r"…" / r#"…"# (also the tail of
+                        // `br"…"` — the leading `b` lexes as ordinary code).
+                        // An identifier merely *ending* in `r` (`var"x"`)
+                        // must not open a raw string: see raw_str_boundary.
                         let mut j = i + 1;
                         let mut hashes = 0u32;
                         while chars.get(j) == Some(&'#') {
@@ -261,6 +274,7 @@ pub fn scan(text: &str) -> ScannedFile {
                         code.push(' ');
                     }
                 }
+                // breval-lint: allow(L009) -- LineComment state is reset at each line start and cannot persist here
                 State::LineComment => unreachable!("reset at line start"),
             }
             i += 1;
@@ -351,6 +365,19 @@ pub fn scan(text: &str) -> ScannedFile {
     ScannedFile { lines }
 }
 
+/// `true` if the `r` at `chars[i]` can start a raw string: the preceding
+/// character must not be part of an identifier (so `var"x"` stays an ident
+/// followed by a plain string), except for a lone `b` prefix (`br#"…"#`)
+/// which must itself sit at an identifier boundary.
+fn raw_str_boundary(chars: &[char], i: usize) -> bool {
+    let ident_char = |c: char| c.is_alphanumeric() || c == '_';
+    match i.checked_sub(1).map(|p| chars[p]) {
+        None => true,
+        Some('b') => i < 2 || !ident_char(chars[i - 2]),
+        Some(prev) => !ident_char(prev),
+    }
+}
+
 /// Parses the tail of a pragma after `breval-lint:`. Expected form:
 /// `allow(L001,L003) -- reason text`.
 fn parse_pragma(tail: &str) -> Result<Waiver, String> {
@@ -437,6 +464,43 @@ mod tests {
         assert!(f.lines[0].malformed_pragma.is_some());
         let f2 = scan("x.unwrap(); // breval-lint: allow(L001) -- short\n");
         assert!(f2.lines[0].malformed_pragma.is_some());
+    }
+
+    #[test]
+    fn multiline_string_continuation_fragments_are_recorded() {
+        // Regression: only the opening line's fragment used to be kept.
+        let f = scan("let s = r###\"line1 \"##\nline2\"### ;\n");
+        assert_eq!(f.lines[0].strings[0].1, "line1 \"##");
+        assert_eq!(f.lines[1].strings[0], (0, "line2".to_owned()));
+        let f = scan("let s = \"one\\\ntwo\";\n");
+        assert_eq!(f.lines[1].strings[0].1, "two");
+    }
+
+    #[test]
+    fn ident_ending_in_r_does_not_open_raw_string() {
+        // Regression: `var"x"` mis-lexed the trailing `r` as a raw-string
+        // sigil and blanked it out of the code view.
+        let f = scan("let x = var\"oops\";\n");
+        assert!(f.lines[0].code.contains("var"));
+        assert_eq!(f.lines[0].strings[0].1, "oops");
+        // …while a real byte-raw-string prefix still lexes as one.
+        let f = scan("let z = br#\"raw \"bytes\"\"#;\n");
+        assert_eq!(f.lines[0].strings[0].1, "raw \"bytes\"");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_blank_exactly() {
+        let f = scan("/* aa /* bb /* cc */ dd */ ee */ let q = 1;\n");
+        for blanked in ["aa", "bb", "cc", "dd", "ee"] {
+            assert!(!f.lines[0].code.contains(blanked), "{blanked} not blanked");
+        }
+        assert!(f.lines[0].code.contains("let q = 1;"));
+        // Multi-line nesting: depth carries across lines.
+        let f = scan("/* x /* y\n z */ still */ let w = 2;\nlet v = 3;\n");
+        assert!(f.lines[0].code.trim().is_empty());
+        assert!(!f.lines[1].code.contains("still"));
+        assert!(f.lines[1].code.contains("let w = 2;"));
+        assert!(f.lines[2].code.contains("let v = 3;"));
     }
 
     #[test]

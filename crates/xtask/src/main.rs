@@ -1,8 +1,12 @@
 //! Command-line driver:
-//! `cargo run -p xtask -- <lint|sanitize|obsreport|obscheck>`.
+//! `cargo run -p xtask -- <lint|deepcheck|sanitize|obsreport|obscheck>`.
 //!
-//! * `lint [files…]` — run the L001–L007 project lints over the whole
-//!   workspace (default) or an explicit file list; exit 1 on any violation.
+//! * `lint [--format json] [files…]` — run the L001–L007 project lints over
+//!   the whole workspace (default) or an explicit file list; exit 1 on any
+//!   violation.
+//! * `deepcheck [--format json]` — run the flow-aware L008–L011 rules over
+//!   the workspace call graph (see `xtask::rules_flow`); exit 1 on any
+//!   violation.
 //! * `sanitize [--seed N]` — run a small end-to-end scenario and check every
 //!   domain invariant in `breval_core::sanitize`, then cross-check the
 //!   persisted `results/*.json` observability manifests against the label
@@ -27,12 +31,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("deepcheck") => run_deepcheck(&args[1..]),
         Some("sanitize") => run_sanitize(&args[1..]),
         Some("obsreport") => run_obsreport(&args[1..]),
         Some("obscheck") => run_obscheck(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint [files…] | sanitize [--seed N] \
+                "usage: cargo run -p xtask -- <lint [--format json] [files…] \
+                 | deepcheck [--format json] | sanitize [--seed N] \
                  | obsreport [--file P] | obscheck [--fresh P] [--baseline P]>"
             );
             ExitCode::from(2)
@@ -49,7 +55,8 @@ fn workspace_root() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
-fn run_lint(files: &[String]) -> ExitCode {
+fn run_lint(args: &[String]) -> ExitCode {
+    let (fmt, files) = xtask::report::Format::extract(args);
     let root = workspace_root();
     let result = if files.is_empty() {
         xtask::lint::lint_workspace(&root)
@@ -64,14 +71,27 @@ fn run_lint(files: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    for v in &violations {
-        println!("{v}");
-    }
+    print!("{}", xtask::report::render("lint", &violations, fmt));
     if violations.is_empty() {
-        println!("lint: clean");
         ExitCode::SUCCESS
     } else {
-        println!("lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn run_deepcheck(args: &[String]) -> ExitCode {
+    let (fmt, _) = xtask::report::Format::extract(args);
+    let violations = match xtask::rules_flow::deepcheck_root(&workspace_root()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("deepcheck: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", xtask::report::render("deepcheck", &violations, fmt));
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,191 @@
+//! Shared finding serialization for `lint` and `deepcheck`.
+//!
+//! Both commands emit the same shapes: a human-readable line list with a
+//! trailing summary, or a machine-readable JSON document for CI
+//! artifacts. The JSON writer is hand-rolled (the vendored `serde_json`
+//! is deliberately serialize-only and lives behind the product crates;
+//! xtask stays zero-dependency) and escapes per RFC 8259.
+
+use crate::rules::Violation;
+
+/// Output format selector shared by the CLI commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// One `file:line [rule] message` line per finding plus a summary.
+    Text,
+    /// A single JSON document: `{tool, clean, count, findings: [...]}`.
+    Json,
+}
+
+impl Format {
+    /// Parses `--format <text|json>` out of an argument list, returning
+    /// the format and the remaining arguments. Unknown values fall back
+    /// to text.
+    #[must_use]
+    pub fn extract(args: &[String]) -> (Format, Vec<String>) {
+        let mut rest = Vec::new();
+        let mut fmt = Format::Text;
+        let mut i = 0;
+        while i < args.len() {
+            if args[i] == "--format" {
+                if let Some(v) = args.get(i + 1) {
+                    if v == "json" {
+                        fmt = Format::Json;
+                    }
+                    i += 2;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            rest.push(args[i].clone());
+            i += 1;
+        }
+        (fmt, rest)
+    }
+}
+
+/// Renders findings in the requested format; the returned string is the
+/// complete stdout payload (including the trailing newline).
+#[must_use]
+pub fn render(tool: &str, violations: &[Violation], fmt: Format) -> String {
+    match fmt {
+        Format::Text => render_text(tool, violations),
+        Format::Json => render_json(tool, violations),
+    }
+}
+
+fn render_text(tool: &str, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in violations {
+        out.push_str(&v.to_string());
+        out.push('\n');
+    }
+    if violations.is_empty() {
+        out.push_str(&format!("{tool}: clean\n"));
+    } else {
+        out.push_str(&format!("{tool}: {} violation(s)\n", violations.len()));
+    }
+    out
+}
+
+fn render_json(tool: &str, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"tool\": {},\n", json_str(tool)));
+    out.push_str(&format!("  \"clean\": {},\n", violations.is_empty()));
+    out.push_str(&format!("  \"count\": {},\n", violations.len()));
+    out.push_str("  \"findings\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"file\": {}, ", json_str(&v.file)));
+        out.push_str(&format!("\"line\": {}, ", v.line));
+        out.push_str(&format!("\"rule\": {}, ", json_str(v.rule)));
+        out.push_str(&format!("\"message\": {}", json_str(&v.message)));
+        out.push('}');
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// A JSON string literal for `s`, with RFC 8259 escaping.
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Violation> {
+        vec![Violation {
+            file: "crates/foo/src/lib.rs".to_owned(),
+            line: 7,
+            rule: "L008",
+            message: "iteration over \"hash\" map".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn extract_format_peels_flag_anywhere() {
+        let args: Vec<String> = ["a.rs", "--format", "json", "b.rs"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (fmt, rest) = Format::extract(&args);
+        assert_eq!(fmt, Format::Json);
+        assert_eq!(rest, vec!["a.rs".to_owned(), "b.rs".to_owned()]);
+        let (fmt, rest) = Format::extract(&["x.rs".to_owned()]);
+        assert_eq!(fmt, Format::Text);
+        assert_eq!(rest, vec!["x.rs".to_owned()]);
+    }
+
+    #[test]
+    fn text_render_matches_legacy_shape() {
+        let out = render("lint", &sample(), Format::Text);
+        assert!(out.contains("crates/foo/src/lib.rs:7"));
+        assert!(out.ends_with("lint: 1 violation(s)\n"));
+        assert_eq!(render("lint", &[], Format::Text), "lint: clean\n");
+    }
+
+    #[test]
+    fn json_render_is_parseable_and_escaped() {
+        let out = render("deepcheck", &sample(), Format::Json);
+        let doc = crate::json::parse(&out).expect("self-emitted JSON must parse");
+        assert_eq!(
+            doc.get("tool").and_then(crate::json::Json::as_str),
+            Some("deepcheck")
+        );
+        assert_eq!(
+            doc.get("count").and_then(crate::json::Json::as_f64),
+            Some(1.0)
+        );
+        let findings = doc
+            .get("findings")
+            .and_then(crate::json::Json::as_arr)
+            .unwrap();
+        assert_eq!(
+            findings[0]
+                .get("message")
+                .and_then(crate::json::Json::as_str),
+            Some("iteration over \"hash\" map")
+        );
+    }
+
+    #[test]
+    fn json_clean_report() {
+        let out = render("lint", &[], Format::Json);
+        let doc = crate::json::parse(&out).expect("parse");
+        assert_eq!(
+            doc.get("clean").and_then(crate::json::Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            doc.get("findings")
+                .and_then(crate::json::Json::as_arr)
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+}

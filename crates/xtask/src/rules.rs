@@ -50,7 +50,7 @@ impl FileKind {
 }
 
 /// One lint finding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Repo-relative file path.
     pub file: String,

@@ -1,0 +1,72 @@
+//! Token-span integrity: every byte of a source file must be covered either
+//! by a token span or by a pure-whitespace gap, with spans ordered and
+//! non-overlapping — i.e. re-emitting the tokens from their spans
+//! round-trips the file byte-identically. Both the lint and deepcheck
+//! layers attribute findings through these spans, so a span bug silently
+//! misplaces or hides findings.
+
+use proptest::prelude::*;
+use std::path::Path;
+use xtask::tokens::roundtrip_violation;
+
+/// Every real workspace source must round-trip. This is the deterministic
+/// sweep the proptest below generalizes.
+#[test]
+fn every_workspace_source_roundtrips() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf();
+    let sources = xtask::lint::workspace_sources(&root);
+    assert!(!sources.is_empty(), "workspace walker found no sources");
+    for rel in sources {
+        let path = if rel.is_absolute() {
+            rel.clone()
+        } else {
+            root.join(&rel)
+        };
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{} unreadable: {e}", path.display()));
+        if let Some(why) = roundtrip_violation(&src) {
+            panic!("{}: {why}", rel.display());
+        }
+    }
+}
+
+/// Random concatenations of adversarial fragments — raw strings, nested
+/// block comments, escapes, unterminated delimiters from the free-form
+/// chunks — must never break the span invariant: the lexer may tokenize
+/// garbage however it likes, but it must account for every byte.
+fn arb_source() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("fn f() { let x = 1; }\n".to_owned()),
+        Just("r#\"raw with \" inside\"#".to_owned()),
+        Just("r\"plain raw\"".to_owned()),
+        Just("br#\"byte raw\"#".to_owned()),
+        Just("\"str with \\\" escape\"".to_owned()),
+        Just("'c'".to_owned()),
+        Just("b'x'".to_owned()),
+        Just("/* outer /* nested */ still outer */".to_owned()),
+        Just("// line comment\n".to_owned()),
+        Just("0x1F_u32 1_000 1.5e-3".to_owned()),
+        Just("ident_r".to_owned()),
+        Just("::<>->=>.#![]{}()".to_owned()),
+        Just("\n\n\t ".to_owned()),
+        // Printable-ASCII chunk: may open strings/comments it never closes.
+        "[ -~]{0,12}".to_owned(),
+        // Delimiter soup biased toward the characters that switch lexer modes.
+        "[ \"#/*'r]{0,8}".to_owned(),
+    ];
+    prop::collection::vec(fragment, 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_sources_roundtrip(src in arb_source()) {
+        let verdict = roundtrip_violation(&src);
+        prop_assert!(verdict.is_none(), "{verdict:?} for source {src:?}");
+    }
+}
