@@ -51,8 +51,8 @@ pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
 /// hash-map ordering can leak into downstream output.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConeSizes {
-    indexer: AsIndexer,
-    sizes: Vec<usize>,
+    pub(crate) indexer: AsIndexer,
+    pub(crate) sizes: Vec<usize>,
 }
 
 impl ConeSizes {
@@ -121,6 +121,11 @@ impl ConeSizes {
 /// over the work-stealing pool with one reusable
 /// [`ConeScratch`](crate::csr::ConeScratch) per worker, so the steady state
 /// allocates nothing. Results are identical at any thread count.
+///
+/// **Deprecated for analysis code** (deepcheck L012): every call rebuilds
+/// the CSR mirror from scratch. Pipeline code must share the scenario
+/// snapshot's CSR via `Scenario::cone_sizes_arc` or call
+/// [`customer_cone_sizes_csr`] on a prebuilt graph.
 #[must_use]
 pub fn customer_cone_sizes(graph: &AsGraph) -> ConeSizes {
     customer_cone_sizes_csr(&CsrGraph::build(graph))
@@ -143,9 +148,9 @@ pub fn customer_cone_sizes_csr(csr: &CsrGraph) -> ConeSizes {
 /// `{asn}` (size 1) without allocating a row.
 #[derive(Debug, Clone, Default)]
 pub struct PpdcCones {
-    indexer: AsIndexer,
+    pub(crate) indexer: AsIndexer,
     /// One bit per observed AS; `None` means the implicit self-only cone.
-    rows: Vec<Option<Box<[u64]>>>,
+    pub(crate) rows: Vec<Option<Box<[u64]>>>,
 }
 
 impl PpdcCones {

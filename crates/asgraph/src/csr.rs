@@ -18,14 +18,16 @@
 use crate::graph::AsGraph;
 use crate::index::AsIndexer;
 
-/// One role's adjacency in compressed-sparse-row form.
+/// One role's adjacency in compressed-sparse-row form. Fields are
+/// crate-visible so the binary codec (`crate::io`) can rebuild a role
+/// from validated arrays without an intermediate copy.
 #[derive(Debug, Clone, Default)]
-struct Csr {
+pub(crate) struct Csr {
     /// `offsets[i]..offsets[i + 1]` indexes `targets` for node `i`;
     /// length `node_count + 1`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Concatenated neighbor ids, sorted within each node's segment.
-    targets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
 }
 
 impl Csr {
@@ -54,11 +56,11 @@ impl Csr {
 /// [`CsrGraph::indexer`].
 #[derive(Debug, Clone, Default)]
 pub struct CsrGraph {
-    indexer: AsIndexer,
-    providers: Csr,
-    customers: Csr,
-    peers: Csr,
-    siblings: Csr,
+    pub(crate) indexer: AsIndexer,
+    pub(crate) providers: Csr,
+    pub(crate) customers: Csr,
+    pub(crate) peers: Csr,
+    pub(crate) siblings: Csr,
 }
 
 impl CsrGraph {

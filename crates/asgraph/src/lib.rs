@@ -31,6 +31,7 @@ pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod index;
+pub mod io;
 pub mod link;
 pub mod paths;
 pub mod rel;

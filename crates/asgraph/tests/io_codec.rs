@@ -1,0 +1,144 @@
+//! Property tests for the flat typed-array codec (`asgraph::io`): every
+//! dense structure round-trips byte-identically, and corrupt streams —
+//! truncations at any cut point, arbitrary byte flips, oversized length
+//! prefixes — produce `Err`, never a panic or an attacker-sized allocation.
+
+use asgraph::io::{
+    read_cone_sizes, read_csr_graph, read_ppdc_cones, write_cone_sizes, write_csr_graph,
+    write_ppdc_cones, ByteReader, ByteWriter, IoError,
+};
+use asgraph::{cone, AsGraph, AsPath, Asn, CsrGraph, Link, PathSet, Rel};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A small random relationship graph: edges over a bounded ASN space with
+/// random role labels; conflicting/self edges are simply skipped.
+fn arb_graph() -> impl Strategy<Value = AsGraph> {
+    proptest::collection::vec(((1u32..40), (1u32..40), (0u8..3)), 0..60).prop_map(|edges| {
+        let mut g = AsGraph::new();
+        for (a, b, kind) in edges {
+            let Some(link) = Link::new(Asn(a), Asn(b)) else {
+                continue;
+            };
+            let rel = match kind {
+                0 => Rel::P2c { provider: Asn(a) },
+                1 => Rel::P2p,
+                _ => Rel::S2s,
+            };
+            let _ = g.add_rel(link, rel);
+        }
+        g
+    })
+}
+
+/// Random observed paths over the same ASN space.
+fn arb_paths() -> impl Strategy<Value = PathSet> {
+    proptest::collection::vec(proptest::collection::vec(1u32..40, 2..6), 0..30).prop_map(|paths| {
+        let mut ps = PathSet::new();
+        for hops in paths {
+            let hops: Vec<Asn> = hops.into_iter().map(Asn).collect();
+            ps.push(hops[0], AsPath::new(hops));
+        }
+        ps
+    })
+}
+
+fn encode(graph: &AsGraph, paths: &PathSet) -> (Vec<u8>, CsrGraph) {
+    let csr = CsrGraph::build(graph);
+    let cones = cone::customer_cone_sizes_csr(&csr);
+    let rels: BTreeMap<Link, Rel> = graph.links().collect();
+    let ppdc = cone::ppdc_cones(paths, &rels);
+    let mut w = ByteWriter::new();
+    write_csr_graph(&mut w, &csr);
+    write_cone_sizes(&mut w, &cones);
+    write_ppdc_cones(&mut w, &ppdc);
+    (w.into_bytes(), csr)
+}
+
+fn decode_all(bytes: &[u8]) -> Result<(), IoError> {
+    let mut r = ByteReader::new(bytes);
+    let _ = read_csr_graph(&mut r)?;
+    let _ = read_cone_sizes(&mut r)?;
+    let _ = read_ppdc_cones(&mut r)?;
+    r.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_byte_identical(graph in arb_graph(), paths in arb_paths()) {
+        let (bytes, csr) = encode(&graph, &paths);
+        let mut r = ByteReader::new(&bytes);
+        let csr2 = read_csr_graph(&mut r).expect("csr decodes");
+        let cones2 = read_cone_sizes(&mut r).expect("cones decode");
+        let ppdc2 = read_ppdc_cones(&mut r).expect("ppdc decodes");
+        r.finish().expect("stream fully consumed");
+
+        // The decoded CSR answers neighbor queries identically.
+        prop_assert_eq!(csr.node_count(), csr2.node_count());
+        for id in 0..csr.node_count() as u32 {
+            prop_assert_eq!(csr.customers(id), csr2.customers(id));
+            prop_assert_eq!(csr.providers(id), csr2.providers(id));
+            prop_assert_eq!(csr.peers(id), csr2.peers(id));
+            prop_assert_eq!(csr.siblings(id), csr2.siblings(id));
+        }
+        // Derived analyses agree, and re-encoding is byte-identical.
+        prop_assert_eq!(&cone::customer_cone_sizes_csr(&csr2), &cones2);
+        let mut w = ByteWriter::new();
+        write_csr_graph(&mut w, &csr2);
+        write_cone_sizes(&mut w, &cones2);
+        write_ppdc_cones(&mut w, &ppdc2);
+        prop_assert_eq!(w.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn truncation_errors_never_panic(
+        graph in arb_graph(),
+        paths in arb_paths(),
+        frac in 0.0f64..1.0,
+    ) {
+        let (bytes, _) = encode(&graph, &paths);
+        // The stream is never empty (it always holds length prefixes), so a
+        // strict prefix always exists.
+        let cut = ((bytes.len() as f64 * frac) as usize).min(bytes.len() - 1);
+        prop_assert!(decode_all(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn byte_flips_never_panic(
+        graph in arb_graph(),
+        paths in arb_paths(),
+        pos in 0usize..10_000,
+        mask in 1u8..=255,
+    ) {
+        let (mut bytes, _) = encode(&graph, &paths);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        // A flipped byte may still decode (payload bits) — it just must
+        // never panic or allocate from an unvalidated length.
+        let _ = decode_all(&bytes);
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut g = AsGraph::new();
+    g.add_rel(
+        Link::new(Asn(1), Asn(2)).expect("distinct"),
+        Rel::P2c { provider: Asn(1) },
+    )
+    .expect("fresh link");
+    let csr = CsrGraph::build(&g);
+    let mut w = ByteWriter::new();
+    write_csr_graph(&mut w, &csr);
+    let mut bytes = w.into_bytes();
+    // The stream starts with the indexer's u64 element count: claim 2^61
+    // elements. The reader must refuse before reserving memory for them.
+    bytes[..8].copy_from_slice(&(1u64 << 61).to_le_bytes());
+    let mut r = ByteReader::new(&bytes);
+    assert!(matches!(
+        read_csr_graph(&mut r),
+        Err(IoError::OversizedLength { .. })
+    ));
+}

@@ -1,0 +1,196 @@
+//! Snapshot warm-start benchmark: cold pipeline build vs millisecond
+//! binary reload.
+//!
+//! The cold phase runs the full small scenario, forces every snapshot part
+//! for the four classifiers, and persists them with
+//! [`Scenario::save_snapshot`]. The warm phase reloads the same snapshots
+//! from disk with [`Scenario::load_snapshot`] — no topology generation, no
+//! BGP simulation, no inference — and must reproduce the coverage summary
+//! byte-for-byte. Results land in `BENCH_snap.json` at the workspace root
+//! plus `results/snap_coverage_{cold,warm}.csv` (which CI diffs).
+//!
+//! Run with `cargo run --release -p bench --bin snapbench`.
+
+#![forbid(unsafe_code)]
+
+use breval_core::pipeline::{Scenario, ScenarioConfig};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+const CLASSIFIERS: [&str; 4] = ["asrank", "problink", "toposcope", "gao"];
+const SEED: u64 = 42;
+/// ISSUE acceptance floor: warm reload must beat the cold build by this much.
+const MIN_SPEEDUP: f64 = 50.0;
+
+#[derive(Serialize)]
+struct SnapPhase {
+    phase: &'static str,
+    wall_ms: f64,
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct SnapshotFile {
+    classifier: String,
+    bytes: u64,
+}
+
+#[derive(Serialize)]
+struct SnapBenchResult {
+    seed: u64,
+    classifiers: usize,
+    cold: SnapPhase,
+    warm: SnapPhase,
+    speedup: f64,
+    min_speedup: f64,
+    bytes_written_total: u64,
+    files: Vec<SnapshotFile>,
+    coverage_identical: bool,
+}
+
+/// Wall/allocation probe over a registered obs span (the same pattern as
+/// membench: timing goes through `breval_obs`, never ad-hoc clocks).
+struct Probe {
+    span: &'static str,
+    wall: f64,
+    allocations: u64,
+    bytes: u64,
+}
+
+fn probe(span: &'static str) -> Probe {
+    Probe {
+        span,
+        wall: breval_obs::span_wall_ms(span),
+        allocations: counting_alloc::allocation_count(),
+        bytes: counting_alloc::allocated_bytes(),
+    }
+}
+
+impl Probe {
+    fn finish(&self, phase: &'static str) -> SnapPhase {
+        SnapPhase {
+            phase,
+            wall_ms: breval_obs::span_wall_ms(self.span) - self.wall,
+            allocations: counting_alloc::allocation_count() - self.allocations,
+            allocated_bytes: counting_alloc::allocated_bytes() - self.bytes,
+        }
+    }
+}
+
+/// Aborts with a labelled error instead of panicking (bench binaries are
+/// deepcheck entry points, so their failure path must be panic-free).
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("snapbench: {msg}");
+    std::process::exit(1);
+}
+
+/// Concatenated per-classifier coverage summaries — the byte-identity probe.
+fn summaries(snapshots: &[(String, breval_core::ScenarioSnapshot)]) -> String {
+    let mut out = String::new();
+    for (name, snap) in snapshots {
+        out.push_str(&format!("# classifier: {name}\n"));
+        out.push_str(&snap.summary_csv());
+    }
+    out
+}
+
+fn main() {
+    if std::env::var(breval_obs::ENV_VAR).is_err() {
+        breval_obs::set_enabled(true);
+    }
+    // Single-threaded so allocation counts are identical run to run.
+    breval_par::set_max_threads(Some(1));
+
+    let config = ScenarioConfig::small(SEED);
+    let snap_dir: PathBuf = std::env::temp_dir().join("breval_snapbench");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+
+    // --- cold: full pipeline + snapshot persistence ---------------------
+    eprintln!("snapbench: cold build (seed {SEED})…");
+    let p = probe("snapbench_cold");
+    let mut files = Vec::new();
+    let mut cold_snaps = Vec::new();
+    {
+        let _s = breval_obs::span!("snapbench_cold");
+        let scenario = Scenario::run(config.clone());
+        for name in CLASSIFIERS {
+            let path = scenario
+                .save_snapshot(&snap_dir, name)
+                .unwrap_or_else(|e| die(format_args!("saving {name}: {e}")));
+            let bytes = std::fs::metadata(&path).expect("written snapshot").len();
+            files.push(SnapshotFile {
+                classifier: name.to_owned(),
+                bytes,
+            });
+            cold_snaps.push((name.to_owned(), {
+                // Re-load immediately so cold/warm summaries come from the
+                // same type; the cold wall still charges build + save.
+                Scenario::load_snapshot(&snap_dir, &config, name)
+                    .unwrap_or_else(|e| die(format_args!("re-reading {name}: {e}")))
+            }));
+        }
+    }
+    let cold_summary = summaries(&cold_snaps);
+    let cold = p.finish("cold_build_and_save");
+
+    // --- warm: binary reload only ---------------------------------------
+    eprintln!("snapbench: warm reload…");
+    let p = probe("snapbench_warm");
+    let warm_snaps: Vec<_> = {
+        let _s = breval_obs::span!("snapbench_warm");
+        CLASSIFIERS
+            .iter()
+            .map(|name| {
+                (
+                    (*name).to_owned(),
+                    Scenario::load_snapshot(&snap_dir, &config, name)
+                        .unwrap_or_else(|e| die(format_args!("loading {name}: {e}"))),
+                )
+            })
+            .collect()
+    };
+    let warm_summary = summaries(&warm_snaps);
+    let warm = p.finish("warm_load");
+
+    let coverage_identical = cold_summary == warm_summary;
+    assert!(
+        coverage_identical,
+        "warm coverage summary differs from cold"
+    );
+
+    let speedup = cold.wall_ms / warm.wall_ms.max(1e-6);
+    let bytes_written_total: u64 = files.iter().map(|f| f.bytes).sum();
+    eprintln!(
+        "snapbench: cold {:.1} ms / {} allocs, warm {:.3} ms / {} allocs — {:.0}× speedup ({} bytes on disk)",
+        cold.wall_ms, cold.allocations, warm.wall_ms, warm.allocations, speedup, bytes_written_total
+    );
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "warm reload only {speedup:.1}× faster than cold build (need ≥{MIN_SPEEDUP}×)"
+    );
+
+    let result = SnapBenchResult {
+        seed: SEED,
+        classifiers: CLASSIFIERS.len(),
+        cold,
+        warm,
+        speedup,
+        min_speedup: MIN_SPEEDUP,
+        bytes_written_total,
+        files,
+        coverage_identical,
+    };
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let json = serde_json::to_string_pretty(&result).expect("result serializes");
+    std::fs::write(root.join("BENCH_snap.json"), json + "\n").expect("write BENCH_snap.json");
+    breval_bench::write_result(&root, "results/snap_coverage_cold.csv", &cold_summary)
+        .expect("write cold coverage");
+    breval_bench::write_result(&root, "results/snap_coverage_warm.csv", &warm_summary)
+        .expect("write warm coverage");
+    eprintln!("snapbench: wrote BENCH_snap.json and results/snap_coverage_{{cold,warm}}.csv");
+}

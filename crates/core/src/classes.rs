@@ -151,6 +151,9 @@ impl LinkClassifier {
     ) -> Self {
         Self::with_cone_sizes(
             region_map,
+            // breval-lint: allow(L012) -- compatibility constructor for
+            // standalone classifier use; the pipeline itself goes through
+            // Scenario's snapshot layer (`with_cone_sizes`).
             Arc::new(cone::customer_cone_sizes(inferred_graph)),
             tier1,
             hypergiants,

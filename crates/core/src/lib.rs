@@ -24,6 +24,9 @@
 //!   acyclicity, path hygiene, valley-free sanity, validation ⊆ inferred,
 //!   class-partition completeness) asserted at stage boundaries in debug
 //!   builds and standalone via `cargo run -p xtask -- sanitize`.
+//! * [`snapshot`] — per-classifier immutable analysis snapshots (CSR graph,
+//!   cones, PPDC bitsets, scored-link join) shared behind `Arc`s, plus the
+//!   validated flat binary format that reloads them in milliseconds.
 //! * [`pipeline`] — one-call scenario driver wiring all substrate crates.
 //! * [`report`] — text/CSV renderers for every table and figure.
 
@@ -42,6 +45,7 @@ pub mod pipeline;
 pub mod report;
 pub mod sampling;
 pub mod sanitize;
+pub mod snapshot;
 pub mod timeline;
 
 pub use classes::{LinkClassifier, RegionClass, TopoClass, TopoIndex};
@@ -50,3 +54,4 @@ pub use coverage::{coverage_by_class, coverage_by_class_keyed, ClassCoverage};
 pub use heatmap::{Heatmap, HeatmapConfig};
 pub use metrics::{ClassEval, ConfusionMatrix, EvalTable};
 pub use pipeline::{Scenario, ScenarioConfig};
+pub use snapshot::{ScenarioSnapshot, SnapshotError, SnapshotKey};

@@ -8,7 +8,8 @@ use crate::coverage::{coverage_by_class_keyed, ClassCoverage};
 use crate::heatmap::{Heatmap, HeatmapConfig};
 use crate::metrics::{EvalTable, ScoredLink};
 use crate::sanitize;
-use asgraph::{cone, AsGraph, ConeSizes, Link, PathSet, PathStats};
+use crate::snapshot::{self, ScenarioSnapshot, SnapshotError, SnapshotKey};
+use asgraph::{cone, AsGraph, ConeSizes, Link, PathSet, PathStats, PpdcCones};
 use asinfer::{AsRank, Classifier, GaoClassifier, Inference, PreparedPaths, ProbLink, TopoScope};
 use bgpsim::RibSnapshot;
 use serde::{Deserialize, Serialize};
@@ -96,15 +97,10 @@ pub struct Scenario {
     pub validation: CleanValidation,
     /// Link classifier (§5).
     pub classifier: LinkClassifier,
-    /// Per-classifier scored-link joins, computed lazily once each
-    /// (see [`Scenario::scored_arc`]).
-    scored_cache: Mutex<BTreeMap<String, Arc<Vec<ScoredLink>>>>,
-    /// Per-inference customer-cone sizes, computed lazily once each
-    /// (see [`Scenario::cone_sizes_arc`]).
-    cone_cache: Mutex<BTreeMap<String, Arc<ConeSizes>>>,
-    /// Per-inference PPDC cone sizes, computed lazily once each
-    /// (see [`Scenario::ppdc_sizes_arc`]).
-    ppdc_cache: Mutex<BTreeMap<String, Arc<ConeSizes>>>,
+    /// One immutable [`ScenarioSnapshot`] per classifier, built lazily and
+    /// shared (`Arc`) by every analysis path — the single cache that
+    /// replaced the old per-kind cone/PPDC/scored maps.
+    snapshot_cache: Mutex<BTreeMap<String, Arc<ScenarioSnapshot>>>,
 }
 
 impl Scenario {
@@ -175,16 +171,22 @@ impl Scenario {
 
         // The §5 classifier derives cones from ASRank's inference (the CAIDA
         // cone dataset analogue) and takes the Tier-1 / hypergiant lists.
-        let classifier = {
+        // Its cones ARE the ASRank snapshot's cones: build that snapshot
+        // here, once, and share it — the classifier, the ensemble, coverage,
+        // and the heatmaps all read the same `Arc`s.
+        let (classifier, asrank_snapshot) = {
             let _span = breval_obs::span!("link_classifier");
             let inferred_graph = graph_of(&asrank);
             breval_obs::counter("classifier_cone_links", asrank.rels.len() as u64);
-            LinkClassifier::new(
+            let snap = snapshot::build_snapshot("asrank", &inferred_graph);
+            let cones = snap.cone_sizes().unwrap_or_default();
+            let classifier = LinkClassifier::with_cone_sizes(
                 region_map(&topology),
-                &inferred_graph,
+                cones,
                 topology.tier1.clone(),
                 topology.hypergiants.clone(),
-            )
+            );
+            (classifier, snap)
         };
         inferences.insert("asrank".into(), asrank);
 
@@ -204,11 +206,11 @@ impl Scenario {
             );
         }
 
-        // The classifier's cone sizes ARE the ASRank cone sizes: seed the
-        // cache so `cone_sizes_arc("asrank")` never re-derives them.
-        let cone_cache = Mutex::new(BTreeMap::from([(
+        // Seed the cache with the ASRank snapshot built alongside the
+        // classifier, so `snapshot_arc("asrank")` never re-derives it.
+        let snapshot_cache = Mutex::new(BTreeMap::from([(
             "asrank".to_owned(),
-            classifier.cone_sizes_arc(),
+            Arc::new(asrank_snapshot),
         )]));
 
         Scenario {
@@ -222,45 +224,89 @@ impl Scenario {
             validation_raw,
             validation,
             classifier,
-            scored_cache: Mutex::new(BTreeMap::new()),
-            cone_cache,
-            ppdc_cache: Mutex::new(BTreeMap::new()),
+            snapshot_cache,
         }
+    }
+
+    /// The named classifier's [`ScenarioSnapshot`], built at most once and
+    /// shared (the ASRank entry is pre-seeded from [`Scenario::run`]).
+    /// Unknown names yield an empty snapshot, mirroring the empty tables
+    /// the old per-kind caches handed out.
+    #[must_use]
+    pub fn snapshot_arc(&self, classifier_name: &str) -> Arc<ScenarioSnapshot> {
+        let mut cache = self
+            .snapshot_cache
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(hit) = cache.get(classifier_name) {
+            return Arc::clone(hit);
+        }
+        let built = Arc::new(if self.inferences.contains_key(classifier_name) {
+            ScenarioSnapshot::new_lazy(classifier_name)
+        } else {
+            ScenarioSnapshot::empty(classifier_name)
+        });
+        cache.insert(classifier_name.to_owned(), Arc::clone(&built));
+        built
+    }
+
+    /// The CSR mirror of the named inference's relationship graph,
+    /// materialised into the snapshot on first use and shared — the single
+    /// place the analysis layer ever builds a [`asgraph::CsrGraph`].
+    #[must_use]
+    pub fn csr_arc(&self, classifier_name: &str) -> Arc<asgraph::CsrGraph> {
+        let snap = self.snapshot_arc(classifier_name);
+        Arc::clone(snap.csr.get_or_init(|| {
+            Arc::new(match self.inferences.get(classifier_name) {
+                Some(inference) => asgraph::CsrGraph::build(&graph_of(inference)),
+                None => asgraph::CsrGraph::default(),
+            })
+        }))
     }
 
     /// Customer-cone sizes over the named inference's relationship graph,
-    /// computed at most once per classifier and shared (the ASRank entry is
-    /// pre-seeded from the link classifier's own cones). Unknown names
-    /// yield an empty size table.
+    /// materialised into the snapshot on first use and shared (the ASRank
+    /// entry is pre-built in [`Scenario::run`]). Unknown names yield an
+    /// empty size table.
     #[must_use]
     pub fn cone_sizes_arc(&self, classifier_name: &str) -> Arc<ConeSizes> {
-        let mut cache = self.cone_cache.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(hit) = cache.get(classifier_name) {
-            return Arc::clone(hit);
-        }
-        let computed = Arc::new(match self.inferences.get(classifier_name) {
-            Some(inference) => cone::customer_cone_sizes(&graph_of(inference)),
-            None => ConeSizes::empty(),
-        });
-        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
-        computed
+        let snap = self.snapshot_arc(classifier_name);
+        Arc::clone(snap.cone_sizes.get_or_init(|| {
+            if self.inferences.contains_key(classifier_name) {
+                Arc::new(cone::customer_cone_sizes_csr(
+                    &self.csr_arc(classifier_name),
+                ))
+            } else {
+                Arc::new(ConeSizes::empty())
+            }
+        }))
     }
 
-    /// PPDC cone sizes (paths × the named inference's relationships),
-    /// computed at most once per classifier and shared. Unknown names yield
-    /// an empty size table.
+    /// PPDC bitset cones (paths × the named inference's relationships),
+    /// materialised into the snapshot on first use and shared.
+    #[must_use]
+    pub fn ppdc_cones_arc(&self, classifier_name: &str) -> Arc<PpdcCones> {
+        let snap = self.snapshot_arc(classifier_name);
+        Arc::clone(snap.ppdc.get_or_init(|| {
+            Arc::new(match self.inferences.get(classifier_name) {
+                Some(inference) => cone::ppdc_cones(&self.paths, &inference.rels),
+                None => PpdcCones::default(),
+            })
+        }))
+    }
+
+    /// PPDC cone sizes, derived once from the snapshot's bitset cones
+    /// (popcount per row) and shared. Unknown names yield an empty table.
     #[must_use]
     pub fn ppdc_sizes_arc(&self, classifier_name: &str) -> Arc<ConeSizes> {
-        let mut cache = self.ppdc_cache.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(hit) = cache.get(classifier_name) {
-            return Arc::clone(hit);
-        }
-        let computed = Arc::new(match self.inferences.get(classifier_name) {
-            Some(inference) => cone::ppdc_sizes(&self.paths, &inference.rels),
-            None => ConeSizes::empty(),
-        });
-        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
-        computed
+        let snap = self.snapshot_arc(classifier_name);
+        Arc::clone(snap.ppdc_sizes.get_or_init(|| {
+            let sizes = self.ppdc_cones_arc(classifier_name).sizes();
+            if self.inferences.contains_key(classifier_name) {
+                breval_obs::counter("ppdc_sizes_computed", sizes.len() as u64);
+            }
+            Arc::new(sizes)
+        }))
     }
 
     /// The named inference (`"asrank"`, `"problink"`, `"toposcope"`, `"gao"`).
@@ -276,14 +322,43 @@ impl Scenario {
     /// [`Scenario::scored`] when the result is only read.
     #[must_use]
     pub fn scored_arc(&self, classifier_name: &str) -> Arc<Vec<ScoredLink>> {
-        let mut cache = self.scored_cache.lock().unwrap_or_else(|p| p.into_inner());
-        if let Some(hit) = cache.get(classifier_name) {
-            return Arc::clone(hit);
-        }
-        breval_obs::counter("scored_join_computed", 1);
-        let computed = Arc::new(self.compute_scored(classifier_name));
-        cache.insert(classifier_name.to_owned(), Arc::clone(&computed));
-        computed
+        let snap = self.snapshot_arc(classifier_name);
+        Arc::clone(snap.scored.get_or_init(|| {
+            breval_obs::counter("scored_join_computed", 1);
+            Arc::new(self.compute_scored(classifier_name))
+        }))
+    }
+
+    /// Forces every lazy snapshot part for `classifier_name` and writes the
+    /// snapshot to `dir`, keyed by (config hash, seed, classifier). Returns
+    /// the path written.
+    pub fn save_snapshot(
+        &self,
+        dir: &std::path::Path,
+        classifier_name: &str,
+    ) -> Result<std::path::PathBuf, SnapshotError> {
+        let _ = self.cone_sizes_arc(classifier_name); // also forces the CSR
+        let _ = self.ppdc_cones_arc(classifier_name);
+        let _ = self.ppdc_sizes_arc(classifier_name);
+        let _ = self.scored_arc(classifier_name);
+        let snap = self.snapshot_arc(classifier_name);
+        snap.save(dir, &self.snapshot_key(classifier_name))
+    }
+
+    /// The on-disk identity of this scenario's snapshot for one classifier.
+    #[must_use]
+    pub fn snapshot_key(&self, classifier_name: &str) -> SnapshotKey {
+        SnapshotKey::of(&self.config, classifier_name)
+    }
+
+    /// Loads the persisted snapshot for (`config`, `classifier_name`) from
+    /// `dir` without running the pipeline — the millisecond warm-start path.
+    pub fn load_snapshot(
+        dir: &std::path::Path,
+        config: &ScenarioConfig,
+        classifier_name: &str,
+    ) -> Result<ScenarioSnapshot, SnapshotError> {
+        ScenarioSnapshot::load(dir, &SnapshotKey::of(config, classifier_name))
     }
 
     fn compute_scored(&self, classifier_name: &str) -> Vec<ScoredLink> {
@@ -385,9 +460,18 @@ impl Scenario {
         )
     }
 
-    /// Figs. 3 / 7 / 8 / 9: (inferred, validated) heatmaps over `TR°` links.
+    /// Figs. 3 / 7 / 8 / 9: (inferred, validated) heatmaps over `TR°` links,
+    /// with PPDC metrics read from the ASRank snapshot (the paper's default
+    /// view). See [`Scenario::heatmaps_for`] to plot another classifier.
     #[must_use]
     pub fn heatmaps(&self, metric: HeatmapMetric) -> (Heatmap, Heatmap) {
+        self.heatmaps_for("asrank", metric)
+    }
+
+    /// [`Scenario::heatmaps`] for a named classifier: PPDC-binned metrics
+    /// use *that* classifier's cones instead of being hard-wired to ASRank.
+    #[must_use]
+    pub fn heatmaps_for(&self, classifier_name: &str, metric: HeatmapMetric) -> (Heatmap, Heatmap) {
         let tr_links: Vec<Link> = self
             .inferred_links
             .iter()
@@ -424,7 +508,7 @@ impl Scenario {
             HeatmapMetric::NodeDegree => HeatmapConfig::node_degree(),
         };
         let ppdc: Arc<ConeSizes> = match metric {
-            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => self.ppdc_sizes_arc("asrank"),
+            HeatmapMetric::Ppdc | HeatmapMetric::PpdcNoVp => self.ppdc_sizes_arc(classifier_name),
             _ => Arc::new(ConeSizes::empty()),
         };
         let metric_fn = |asn: asgraph::Asn| -> usize {

@@ -1,0 +1,17 @@
+//! L012 fixture: non-test code calls a registered deprecated wrapper.
+
+pub fn legacy_cones(n: usize) -> usize {
+    n * 2
+}
+
+pub fn analysis(n: usize) -> usize {
+    legacy_cones(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_the_wrapper() {
+        assert_eq!(super::legacy_cones(2), 4);
+    }
+}

@@ -11,9 +11,10 @@
 //!   `// breval-lint: allow(L001) -- <reason, mandatory>`;
 //! * **flow rules** ([`ast`], [`resolve`], [`callgraph`], [`rules_flow`]) —
 //!   `deepcheck` parses items, resolves symbols workspace-wide, builds a
-//!   cross-crate call graph, and enforces L008–L011 (sink-order
+//!   cross-crate call graph, and enforces L008–L012 (sink-order
 //!   determinism, entry-reachable panic freedom, allocation-free hot
-//!   kernels, parallel-closure hygiene) against the role registry in
+//!   kernels, parallel-closure hygiene, deprecated-call bans) against
+//!   the role registry in
 //!   `crates/xtask/deepcheck.txt`, honouring the same waiver pragma;
 //! * **data sanitizer** (in `breval_core::sanitize`, driven from this
 //!   crate's binary) — domain invariants of the paper pipeline checked over

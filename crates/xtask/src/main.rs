@@ -4,7 +4,7 @@
 //! * `lint [--format json] [files…]` — run the L001–L007 project lints over
 //!   the whole workspace (default) or an explicit file list; exit 1 on any
 //!   violation.
-//! * `deepcheck [--format json]` — run the flow-aware L008–L011 rules over
+//! * `deepcheck [--format json]` — run the flow-aware L008–L012 rules over
 //!   the workspace call graph (see `xtask::rules_flow`); exit 1 on any
 //!   violation.
 //! * `sanitize [--seed N]` — run a small end-to-end scenario and check every
