@@ -177,6 +177,23 @@ impl PpdcCones {
         self.indexer.id(asn).map(|id| self.size_by_id(id))
     }
 
+    /// Whether `member` is in the PPDC cone of `asn`, or `None` if `asn`
+    /// itself was never observed on a path. An allocation-free bit probe
+    /// (rows carry the self bit; a rowless AS owns the implicit `{asn}`
+    /// cone), safe on the lock-free query path.
+    #[must_use]
+    pub fn contains(&self, asn: Asn, member: Asn) -> Option<bool> {
+        let id = self.indexer.id(asn)?;
+        let row = self.rows.get(id as usize)?;
+        Some(match (row, self.indexer.id(member)) {
+            (None, _) => member == asn,
+            (Some(row), Some(m)) => row
+                .get(m as usize / 64)
+                .is_some_and(|word| word & (1u64 << (m % 64)) != 0),
+            (Some(_), None) => false,
+        })
+    }
+
     /// The cone members of `asn` (self included), or `None` if unobserved.
     #[must_use]
     pub fn members(&self, asn: Asn) -> Option<BTreeSet<Asn>> {

@@ -1,0 +1,296 @@
+//! Query-server throughput benchmark: replays a seeded, realistic query
+//! mix against a warm-loaded [`brevald`] snapshot set and records
+//! throughput versus thread cap plus per-kind latency quantiles in
+//! `BENCH_qps.json`.
+//!
+//! Two measured phases, mirroring how the server is actually used:
+//!
+//! * **throughput** — the full query corpus is answered through
+//!   [`brevald::answer_batch`] (the serve loop's batch path, fanning out
+//!   over the persistent pool) once per thread cap. Caps above the
+//!   machine's hardware concurrency carry the parbench-style
+//!   `exceeds_hardware` honesty flag, and the headline speedup only
+//!   compares caps the hardware can actually run.
+//! * **latency** — every query kind is answered serially through
+//!   [`brevald::answer_line`] with a per-query `breval_obs::clock_ns`
+//!   probe tallied into one [`breval_obs::Histogram`] per kind (p50 / p90
+//!   / p99).
+//!
+//! The corpus is generated from a seeded ChaCha stream over the ASNs the
+//! scenario actually contains, so answers hit real cones and real links;
+//! the mix weights (below) skew toward the cheap point lookups a serving
+//! deployment sees most. `BREVAL_QPS_QUERIES` overrides the corpus size
+//! (CI smoke uses a small one).
+//!
+//! Run with `cargo run --release -p bench --bin qpsbench`.
+
+#![forbid(unsafe_code)]
+
+use breval_core::pipeline::{Scenario, ScenarioConfig};
+use brevald::set::SnapshotSet;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::path::Path;
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
+
+const SEED: u64 = 42;
+const DEFAULT_QUERIES: usize = 20_000;
+/// (kind, weight) — skewed toward the point lookups a server sees most.
+const MIX: [(&str, u32); 6] = [
+    ("cone", 30),
+    ("member", 20),
+    ("class", 25),
+    ("ascov", 14),
+    ("slice", 10),
+    ("stats", 1),
+];
+
+#[derive(Serialize)]
+struct MixEntry {
+    kind: &'static str,
+    weight: u32,
+    queries: u64,
+}
+
+#[derive(Serialize)]
+struct ThroughputPoint {
+    threads: usize,
+    /// True when this cap exceeds the measuring machine's hardware
+    /// concurrency — the numbers are oversubscription, not scaling.
+    exceeds_hardware: bool,
+    queries: usize,
+    wall_ms: f64,
+    qps: f64,
+}
+
+#[derive(Serialize)]
+struct KindLatency {
+    kind: &'static str,
+    queries: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+}
+
+#[derive(Serialize)]
+struct QpsBenchResult {
+    seed: u64,
+    hardware_threads: usize,
+    classifiers: usize,
+    warm_loaded: bool,
+    query_mix: Vec<MixEntry>,
+    throughput: Vec<ThroughputPoint>,
+    /// Speedup of the highest non-oversubscribed cap over cap 1.
+    speedup_hw_vs_1: f64,
+    latency: Vec<KindLatency>,
+}
+
+/// Aborts with a labelled error instead of panicking (bench binaries are
+/// deepcheck entry points, so their failure path must be panic-free).
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("qpsbench: {msg}");
+    std::process::exit(1);
+}
+
+/// One seeded query in the benchmark mix. ASNs are drawn from the
+/// scenario's real AS population (plus a sliver of unknowns, as a real
+/// client would send), so cone walks and link lookups do real work.
+fn generate(rng: &mut ChaCha8Rng, asns: &[u32], kind: &'static str) -> String {
+    let pick = |rng: &mut ChaCha8Rng| -> u32 {
+        if asns.is_empty() || rng.random_range(0..50u32) == 0 {
+            rng.random_range(1..100_000u32) // occasionally unknown to the graph
+        } else {
+            asns[rng.random_range(0..asns.len())]
+        }
+    };
+    match kind {
+        "cone" => format!("cone {}", pick(rng)),
+        "member" => format!("member {} {}", pick(rng), pick(rng)),
+        "class" => {
+            let a = pick(rng);
+            let mut b = pick(rng);
+            if b == a {
+                b = a.wrapping_add(1).max(1);
+            }
+            format!("class {a} {b}")
+        }
+        "ascov" => format!("ascov {}", pick(rng)),
+        "slice" => {
+            let region = match rng.random_range(0..4u32) {
+                0 => "*".to_owned(),
+                _ => {
+                    let code = rng.random_range(0..=brevald::slices::REGION_NONE);
+                    brevald::slices::region_label_of(code).unwrap_or_else(|| "*".to_owned())
+                }
+            };
+            let topo = match rng.random_range(0..4u32) {
+                0 => "*",
+                _ => {
+                    let codes: [u8; 10] = [0, 1, 2, 3, 5, 6, 7, 10, 11, 15];
+                    let code = codes[rng.random_range(0..codes.len())];
+                    brevald::slices::topo_label_of(code).unwrap_or("*")
+                }
+            };
+            format!("slice {region} {topo}")
+        }
+        _ => "stats".to_owned(),
+    }
+}
+
+fn main() {
+    if std::env::var(breval_obs::ENV_VAR).is_err() {
+        breval_obs::set_enabled(true);
+    }
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let total_queries = std::env::var("BREVAL_QPS_QUERIES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(DEFAULT_QUERIES);
+
+    // --- build once, then warm-load the set the way the server does -----
+    let config = ScenarioConfig::small(SEED);
+    let snap_dir = std::env::temp_dir().join("breval_qpsbench");
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    eprintln!("qpsbench: building scenario (seed {SEED}) and persisting snapshots…");
+    let scenario = Scenario::run(config.clone());
+    SnapshotSet::save_all(&scenario, &snap_dir)
+        .unwrap_or_else(|e| die(format_args!("persisting snapshots: {e}")));
+    let set = SnapshotSet::load(&snap_dir, &config)
+        .unwrap_or_else(|e| die(format_args!("warm-loading snapshots: {e}")));
+    let classifiers = set.classifiers().len();
+
+    // The real AS population, from the first classifier's cone table.
+    let asns: Vec<u32> = set
+        .classifiers()
+        .first()
+        .map_or_else(Vec::new, |v| v.cones.iter().map(|(asn, _)| asn.0).collect());
+    if asns.is_empty() {
+        die(format_args!("scenario produced no ASes"));
+    }
+
+    // --- seeded corpus in mix proportions, then shuffled -----------------
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED);
+    let weight_total: u32 = MIX.iter().map(|(_, w)| w).sum();
+    let mut corpus: Vec<(&'static str, String)> = Vec::with_capacity(total_queries);
+    for (kind, weight) in MIX {
+        let share = (total_queries as u64 * u64::from(weight) / u64::from(weight_total)) as usize;
+        for _ in 0..share.max(1) {
+            corpus.push((kind, generate(&mut rng, &asns, kind)));
+        }
+    }
+    rand::seq::SliceRandom::shuffle(&mut corpus[..], &mut rng);
+    let lines: Vec<String> = corpus.iter().map(|(_, q)| q.clone()).collect();
+    let query_mix: Vec<MixEntry> = MIX
+        .iter()
+        .map(|(kind, weight)| MixEntry {
+            kind,
+            weight: *weight,
+            queries: corpus.iter().filter(|(k, _)| k == kind).count() as u64,
+        })
+        .collect();
+
+    // --- throughput sweep over thread caps -------------------------------
+    let mut caps = vec![1usize, 2, hardware_threads];
+    caps.sort_unstable();
+    caps.dedup();
+    let mut throughput = Vec::new();
+    let mut reference: Option<String> = None;
+    for &threads in &caps {
+        let t0 = breval_obs::clock_ns();
+        let replies =
+            breval_par::with_thread_cap(Some(threads), || brevald::answer_batch(&set, &lines));
+        let wall_ms = breval_obs::clock_ns().saturating_sub(t0) as f64 / 1e6;
+        // Honesty check on the results themselves: every cap must produce
+        // byte-identical replies.
+        let joined = replies.join("\n");
+        match &reference {
+            None => reference = Some(joined),
+            Some(r) => {
+                if *r != joined {
+                    die(format_args!("replies differ between thread caps"));
+                }
+            }
+        }
+        let qps = lines.len() as f64 / (wall_ms / 1e3).max(1e-9);
+        eprintln!(
+            "qpsbench: {threads:>2} thread(s): {:>7} queries in {wall_ms:>8.1} ms = {qps:>9.0} q/s{}",
+            lines.len(),
+            if threads > hardware_threads {
+                " [exceeds hardware]"
+            } else {
+                ""
+            }
+        );
+        throughput.push(ThroughputPoint {
+            threads,
+            exceeds_hardware: threads > hardware_threads,
+            queries: lines.len(),
+            wall_ms,
+            qps,
+        });
+    }
+    let honest_best = throughput
+        .iter()
+        .filter(|p| !p.exceeds_hardware)
+        .map(|p| p.qps)
+        .fold(0.0f64, f64::max);
+    let base = throughput
+        .iter()
+        .find(|p| p.threads == 1)
+        .map_or(1.0, |p| p.qps);
+    let speedup_hw_vs_1 = honest_best / base.max(1e-9);
+
+    // --- per-kind latency quantiles (serial, per-query probe) ------------
+    let mut latency = Vec::new();
+    for (kind, _) in MIX {
+        let mut h = breval_obs::Histogram::new();
+        for (k, q) in &corpus {
+            if *k != kind {
+                continue;
+            }
+            let t0 = breval_obs::clock_ns();
+            let reply = brevald::answer_line(&set, q);
+            h.record(breval_obs::clock_ns().saturating_sub(t0));
+            if !reply.starts_with("ok ") {
+                die(format_args!("generated query '{q}' failed: {reply}"));
+            }
+        }
+        eprintln!(
+            "qpsbench: latency {kind:>6}: n={:<6} p50={} ns p99={} ns",
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.99)
+        );
+        latency.push(KindLatency {
+            kind,
+            queries: h.count(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+        });
+    }
+
+    let result = QpsBenchResult {
+        seed: SEED,
+        hardware_threads,
+        classifiers,
+        warm_loaded: true,
+        query_mix,
+        throughput,
+        speedup_hw_vs_1,
+        latency,
+    };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let json = serde_json::to_string_pretty(&result)
+        .unwrap_or_else(|e| die(format_args!("serializing result: {e}")));
+    std::fs::write(root.join("BENCH_qps.json"), json + "\n")
+        .unwrap_or_else(|e| die(format_args!("writing BENCH_qps.json: {e}")));
+    eprintln!(
+        "qpsbench: wrote BENCH_qps.json (best honest {honest_best:.0} q/s, {speedup_hw_vs_1:.2}× vs 1 thread)"
+    );
+}

@@ -1,0 +1,177 @@
+//! The long-lived serve loop: a line protocol over any `BufRead`/`Write`
+//! pair (stdin/stdout in the binary, in-memory buffers in tests).
+//!
+//! # Protocol
+//!
+//! One request per line, one response line per request, answered in order:
+//!
+//! ```text
+//! cone <asn>                  → ok cone <asn> <name>=<cone>/<ppdc> …
+//! member <asn> <asn>          → ok member <a> <m> <name>=0|1|- …
+//! class <asn> <asn>           → ok class <a> <b> <name>=<rel> … val=<rel|-> vote=<rel> agree=<v>/<t>
+//! ascov <asn>                 → ok ascov <asn> links=… validated=… coverage=…
+//! slice <region|*> <topo|*>   → ok slice <region> <topo> links=… validated=… coverage=…
+//! stats                       → ok stats gen=… classifiers=… nodes=… links=… validated=…
+//! batch <n>                   → the next n lines are queries, fanned out
+//!                               over the worker pool against ONE generation
+//! reload                      → ok reload started (build + swap off-thread)
+//! drain                       → ok drain gen=<g> (join any pending reload)
+//! quit                        → ok bye (EOF works too)
+//! ```
+//!
+//! Malformed input gets an `err <hint>` line; the loop never panics and
+//! never exits on bad input. Every single query resolves the store's
+//! current generation once; a batch resolves it once for the *whole*
+//! batch, so a concurrent reload can never split a batch across
+//! generations.
+
+use crate::engine;
+use crate::set::SnapshotSet;
+use crate::store::SnapshotStore;
+use breval_core::pipeline::ScenarioConfig;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Ceiling on `batch <n>` so a malformed count cannot make the loop
+/// buffer unbounded input.
+pub const MAX_BATCH: usize = 65_536;
+
+/// The serve loop state: the lock-free store plus what a reload needs to
+/// rebuild a generation (the snapshot directory and the scenario config).
+pub struct Server {
+    store: Arc<SnapshotStore>,
+    dir: PathBuf,
+    config: ScenarioConfig,
+    pending_reload: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// A server answering from `store`, reloading from `dir` for `config`.
+    #[must_use]
+    pub fn new(store: Arc<SnapshotStore>, dir: PathBuf, config: ScenarioConfig) -> Self {
+        Server {
+            store,
+            dir,
+            config,
+            pending_reload: None,
+        }
+    }
+
+    /// The shared store (tests publish into it directly).
+    #[must_use]
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// Kicks off an off-thread warm reload: load every snapshot part plus
+    /// the slice table from disk, then atomically publish the new
+    /// generation. The serve loop (and every in-flight reader) keeps
+    /// answering from the old generation until the swap lands. Errors bump
+    /// `brevald_reload_errors` and leave the old generation active.
+    fn start_reload(&mut self) -> Result<(), &'static str> {
+        if let Some(handle) = &self.pending_reload {
+            if !handle.is_finished() {
+                return Err("reload already in progress");
+            }
+            self.join_reload();
+        }
+        let store = Arc::clone(&self.store);
+        let dir = self.dir.clone();
+        let config = self.config.clone();
+        let handle = std::thread::Builder::new()
+            .name("brevald-reload".into())
+            .spawn(move || {
+                let _span = breval_obs::span!("brevald_reload");
+                match SnapshotSet::load(&dir, &config) {
+                    Ok(set) => {
+                        if store.publish(set).is_err() {
+                            breval_obs::counter("brevald_reload_errors", 1);
+                        }
+                    }
+                    Err(_) => breval_obs::counter("brevald_reload_errors", 1),
+                }
+            });
+        match handle {
+            Ok(handle) => {
+                self.pending_reload = Some(handle);
+                Ok(())
+            }
+            Err(_) => Err("spawning the reload thread failed"),
+        }
+    }
+
+    /// Joins any pending reload thread (completed or not).
+    fn join_reload(&mut self) {
+        if let Some(handle) = self.pending_reload.take() {
+            if handle.join().is_err() {
+                breval_obs::counter("brevald_reload_errors", 1);
+            }
+        }
+    }
+
+    /// Runs the line protocol until EOF or `quit`. Responses go to `out`
+    /// in request order; protocol errors are `err` lines, I/O errors on
+    /// the transport itself end the loop.
+    pub fn serve<R: BufRead, W: Write>(&mut self, input: R, mut out: W) -> std::io::Result<()> {
+        let _span = breval_obs::span!("brevald_serve");
+        let mut lines = input.lines();
+        while let Some(line) = lines.next() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let mut words = trimmed.split_whitespace();
+            match words.next() {
+                Some("quit") => {
+                    writeln!(out, "ok bye")?;
+                    break;
+                }
+                Some("reload") => match self.start_reload() {
+                    Ok(()) => writeln!(out, "ok reload started")?,
+                    Err(msg) => writeln!(out, "err {msg}")?,
+                },
+                Some("drain") => {
+                    self.join_reload();
+                    writeln!(out, "ok drain gen={}", self.store.current().generation())?;
+                }
+                Some("batch") => {
+                    let count = words.next().and_then(|w| w.parse::<usize>().ok());
+                    match count {
+                        Some(n) if n <= MAX_BATCH => {
+                            let mut queries = Vec::with_capacity(n);
+                            for _ in 0..n {
+                                match lines.next() {
+                                    Some(q) => queries.push(q?),
+                                    None => break, // EOF mid-batch: answer what arrived
+                                }
+                            }
+                            // One generation for the whole batch.
+                            let set = self.store.current();
+                            for reply in engine::answer_batch(&set, &queries) {
+                                writeln!(out, "{reply}")?;
+                            }
+                        }
+                        Some(_) => writeln!(out, "err batch larger than {MAX_BATCH}")?,
+                        None => writeln!(out, "err batch needs a line count")?,
+                    }
+                }
+                _ => {
+                    let set = self.store.current();
+                    writeln!(out, "{}", engine::answer_line(&set, trimmed))?;
+                }
+            }
+            out.flush()?;
+        }
+        self.join_reload();
+        out.flush()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_reload();
+    }
+}

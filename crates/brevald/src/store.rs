@@ -1,0 +1,172 @@
+//! The atomically-swapped snapshot store: lock-free readers, off-thread
+//! publishers.
+//!
+//! # Why a slab and not a lock
+//!
+//! Readers on the query path must never block — not on a reloading writer,
+//! not on each other. The safe-Rust way to get an atomically swappable
+//! `Arc<T>` without reader locks is a **generation slab**: a fixed array of
+//! [`OnceLock`] slots plus an [`AtomicUsize`] index naming the active slot.
+//!
+//! - A **read** is `active.load(Acquire)` followed by `OnceLock::get` on
+//!   that slot — two atomic loads, no mutex, no CAS loop. `OnceLock::get`
+//!   on an initialised slot is a plain acquire load; it can only block
+//!   *during* initialisation, and a slot is always fully initialised
+//!   *before* `active` is pointed at it.
+//! - A **publish** fills the next free slot (`OnceLock::set`) and then
+//!   stores its index into `active` with release ordering. In-flight
+//!   readers keep the `Arc` they already cloned; new readers see the new
+//!   generation. Nothing is ever mutated in place, so there are no torn
+//!   reads by construction.
+//!
+//! Old generations stay pinned in their slots (their `Arc`s drop only when
+//! the store does), which bounds the design: the slab holds
+//! [`GENERATION_CAPACITY`] generations and [`SnapshotStore::publish`]
+//! reports exhaustion as an error instead of wrapping. At one reload per
+//! minute that is over four hours of continuous swapping — and a restart,
+//! not silent reuse of live slots, is the correct response to running out.
+
+use crate::set::SnapshotSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Maximum number of generations a store can hold over its lifetime.
+pub const GENERATION_CAPACITY: usize = 256;
+
+/// Why a new generation could not be published.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// All [`GENERATION_CAPACITY`] slots are used; restart the server.
+    CapacityExhausted,
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::CapacityExhausted => write!(
+                f,
+                "snapshot store generation capacity ({GENERATION_CAPACITY}) exhausted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+/// The lock-free snapshot store (see the module docs for the protocol).
+pub struct SnapshotStore {
+    slots: Box<[OnceLock<Arc<SnapshotSet>>]>,
+    /// Index of the active slot; always initialised before being named.
+    active: AtomicUsize,
+    /// Number of slots claimed so far (slot 0 is the initial set).
+    published: AtomicUsize,
+}
+
+impl SnapshotStore {
+    /// A store whose generation 0 is `initial`.
+    #[must_use]
+    pub fn new(initial: SnapshotSet) -> Self {
+        let slots: Box<[OnceLock<Arc<SnapshotSet>>]> =
+            (0..GENERATION_CAPACITY).map(|_| OnceLock::new()).collect();
+        let store = SnapshotStore {
+            slots,
+            active: AtomicUsize::new(0),
+            published: AtomicUsize::new(1),
+        };
+        if let Some(slot) = store.slots.first() {
+            let _ = slot.set(Arc::new(initial.with_generation(0)));
+        }
+        store
+    }
+
+    /// The active snapshot set. Lock-free: two atomic loads and an `Arc`
+    /// bump; never blocks on a concurrent [`SnapshotStore::publish`].
+    #[must_use]
+    pub fn current(&self) -> Arc<SnapshotSet> {
+        let idx = self.active.load(Ordering::Acquire);
+        // Both lookups are infallible by protocol (`active` only ever names
+        // an initialised slot); degrade to generation 0 rather than panic.
+        self.slots
+            .get(idx)
+            .and_then(OnceLock::get)
+            .or_else(|| self.slots.first().and_then(OnceLock::get))
+            .map(Arc::clone)
+            .unwrap_or_else(|| Arc::new(SnapshotSet::empty()))
+    }
+
+    /// Number of generations published so far (≥ 1).
+    #[must_use]
+    pub fn generations(&self) -> usize {
+        self.published.load(Ordering::Acquire).min(self.slots.len())
+    }
+
+    /// Publishes `set` as the next generation and atomically makes it the
+    /// active one. Returns the generation number assigned. In-flight
+    /// readers are never blocked: they keep the `Arc` they hold, and the
+    /// swap is a single release store.
+    pub fn publish(&self, set: SnapshotSet) -> Result<u64, PublishError> {
+        let idx = self.published.fetch_add(1, Ordering::AcqRel);
+        let Some(slot) = self.slots.get(idx) else {
+            // Undo nothing: `published` saturates against the slab length
+            // in `generations()`, and every later publish also fails.
+            return Err(PublishError::CapacityExhausted);
+        };
+        let generation = idx as u64;
+        let _ = slot.set(Arc::new(set.with_generation(generation)));
+        self.active.store(idx, Ordering::Release);
+        breval_obs::counter("brevald_reloads", 1);
+        Ok(generation)
+    }
+}
+
+impl std::fmt::Debug for SnapshotStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStore")
+            .field("generations", &self.generations())
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_advances_the_active_generation() {
+        let store = SnapshotStore::new(SnapshotSet::empty());
+        assert_eq!(store.current().generation(), 0);
+        let g = store.publish(SnapshotSet::empty()).expect("capacity left");
+        assert_eq!(g, 1);
+        assert_eq!(store.current().generation(), 1);
+        assert_eq!(store.generations(), 2);
+    }
+
+    #[test]
+    fn readers_keep_their_generation_across_a_publish() {
+        let store = SnapshotStore::new(SnapshotSet::empty());
+        let before = store.current();
+        store.publish(SnapshotSet::empty()).expect("capacity left");
+        // The old Arc is still alive and unchanged.
+        assert_eq!(before.generation(), 0);
+        assert_eq!(store.current().generation(), 1);
+    }
+
+    #[test]
+    fn capacity_exhaustion_is_an_error_not_a_wrap() {
+        let store = SnapshotStore::new(SnapshotSet::empty());
+        for _ in 1..GENERATION_CAPACITY {
+            store.publish(SnapshotSet::empty()).expect("capacity left");
+        }
+        assert!(matches!(
+            store.publish(SnapshotSet::empty()),
+            Err(PublishError::CapacityExhausted)
+        ));
+        // The store still serves the last good generation.
+        assert_eq!(
+            store.current().generation(),
+            (GENERATION_CAPACITY - 1) as u64
+        );
+        assert_eq!(store.generations(), GENERATION_CAPACITY);
+    }
+}

@@ -60,6 +60,16 @@ pub enum SnapshotError {
         /// What the file actually holds.
         found: SnapshotKey,
     },
+    /// The snapshot is missing a part the caller requires — either a save
+    /// was attempted before the lazy parts were forced (which would have
+    /// silently persisted empty tables), or a query server asked for a
+    /// part that was never materialised.
+    Incomplete {
+        /// The classifier name of the offending snapshot.
+        name: String,
+        /// Which part is missing (`"csr"`, `"cone_sizes"`, …).
+        part: &'static str,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -70,6 +80,10 @@ impl fmt::Display for SnapshotError {
             SnapshotError::KeyMismatch { expected, found } => write!(
                 f,
                 "snapshot key mismatch: expected {expected}, file holds {found}"
+            ),
+            SnapshotError::Incomplete { name, part } => write!(
+                f,
+                "snapshot '{name}' is incomplete: part '{part}' was never materialised"
             ),
         }
     }
@@ -228,6 +242,24 @@ impl ScenarioSnapshot {
         self.scored.get().map(Arc::clone)
     }
 
+    /// The first persisted part that is still unset, or `None` if the
+    /// snapshot is save-complete. `ppdc_sizes` is exempt: it is never
+    /// stored (loads rebuild it as a popcount of the PPDC rows).
+    #[must_use]
+    pub fn missing_part(&self) -> Option<&'static str> {
+        if self.csr.get().is_none() {
+            Some("csr")
+        } else if self.cone_sizes.get().is_none() {
+            Some("cone_sizes")
+        } else if self.ppdc.get().is_none() {
+            Some("ppdc_cones")
+        } else if self.scored.get().is_none() {
+            Some("scored")
+        } else {
+            None
+        }
+    }
+
     /// Serializes the snapshot under `key`. The lazy parts must be
     /// materialised first (`Scenario::save_snapshot` forces them); missing
     /// parts are written as their empty forms.
@@ -293,8 +325,19 @@ impl ScenarioSnapshot {
     /// Writes the snapshot to `dir/<key.file_name()>`, creating `dir` if
     /// needed. Returns the path written. Emits the `snapshot_save` span and
     /// the `snapshot_bytes_written` counter.
+    ///
+    /// Refuses to persist an incomplete snapshot: `to_bytes` would encode
+    /// unset parts as their empty forms, and a warm start from such a file
+    /// would silently answer every query from empty tables. Callers must
+    /// force the lazy parts first (`Scenario::save_snapshot` does).
     pub fn save(&self, dir: &Path, key: &SnapshotKey) -> Result<PathBuf, SnapshotError> {
         let _span = breval_obs::span!("snapshot_save");
+        if let Some(part) = self.missing_part() {
+            return Err(SnapshotError::Incomplete {
+                name: self.name.clone(),
+                part,
+            });
+        }
         let bytes = self.to_bytes(key);
         std::fs::create_dir_all(dir)?;
         let path = dir.join(key.file_name());
@@ -304,12 +347,15 @@ impl ScenarioSnapshot {
     }
 
     /// Loads the snapshot stored for `key` under `dir`, verifying the file's
-    /// embedded key matches. Emits the `snapshot_load` span.
+    /// embedded key matches. Emits the `snapshot_load` span; a key mismatch
+    /// additionally bumps the `snapshot_key_mismatch` counter so reload
+    /// loops (brevald) can alert on it instead of silently retrying.
     pub fn load(dir: &Path, key: &SnapshotKey) -> Result<Self, SnapshotError> {
         let _span = breval_obs::span!("snapshot_load");
         let bytes = std::fs::read(dir.join(key.file_name()))?;
         let (found, snap) = ScenarioSnapshot::from_bytes(&bytes)?;
         if &found != key {
+            breval_obs::counter("snapshot_key_mismatch", 1);
             return Err(SnapshotError::KeyMismatch {
                 expected: key.clone(),
                 found,
@@ -497,6 +543,30 @@ mod tests {
             ScenarioSnapshot::from_bytes(&bad),
             Err(SnapshotError::Codec(IoError::TrailingBytes { .. }))
         ));
+    }
+
+    #[test]
+    fn save_refuses_incomplete_snapshots() {
+        let dir = std::env::temp_dir().join("breval_snap_incomplete_test");
+        // A lazy snapshot has nothing materialised: refuse at the first part.
+        let lazy = ScenarioSnapshot::new_lazy("asrank");
+        assert!(matches!(
+            lazy.save(&dir, &key()),
+            Err(SnapshotError::Incomplete { part: "csr", .. })
+        ));
+        // Graph parts alone are still not enough — the scored join and the
+        // PPDC cones would round-trip as silently empty tables.
+        let partial = build_snapshot("asrank", &asgraph::AsGraph::new());
+        assert_eq!(partial.missing_part(), Some("ppdc_cones"));
+        assert!(matches!(
+            partial.save(&dir, &key()),
+            Err(SnapshotError::Incomplete {
+                part: "ppdc_cones",
+                ..
+            })
+        ));
+        // A complete snapshot reports no missing part.
+        assert_eq!(sample_snapshot().missing_part(), None);
     }
 
     #[test]

@@ -47,16 +47,20 @@ fn snapshots_round_trip_byte_identical_across_classifiers_and_threads() {
     // Same scenario, thread caps 1 and 4: the persisted snapshots must be
     // byte-identical — the pool guarantees deterministic results and the
     // codec adds nothing run-dependent.
-    breval_par::set_max_threads(Some(1));
-    let s1 = Scenario::run(config());
+    // `with_thread_cap` scopes + serialises the process-global cap against
+    // any concurrently running test in this binary.
     let dir1 = temp_dir("t1");
-    let bytes1 = save_all(&s1, &dir1);
+    let bytes1 = breval_par::with_thread_cap(Some(1), || {
+        let s1 = Scenario::run(config());
+        save_all(&s1, &dir1)
+    });
 
-    breval_par::set_max_threads(Some(4));
-    let s4 = Scenario::run(config());
     let dir4 = temp_dir("t4");
-    let bytes4 = save_all(&s4, &dir4);
-    breval_par::set_max_threads(None);
+    let (s4, bytes4) = breval_par::with_thread_cap(Some(4), || {
+        let s4 = Scenario::run(config());
+        let bytes = save_all(&s4, &dir4);
+        (s4, bytes)
+    });
 
     for name in CLASSIFIERS {
         assert_eq!(

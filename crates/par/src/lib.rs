@@ -92,6 +92,31 @@ pub fn set_max_threads(n: Option<usize>) {
     MAX_THREADS.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
 }
 
+/// Runs `f` with the thread cap pinned to `cap`, restoring the previous
+/// override afterwards — even if `f` panics — and **serialising** against
+/// every other `with_thread_cap` call in the process under a global lock.
+///
+/// This is the sanctioned way for tests (and benchmarks sweeping thread
+/// counts) to mutate the cap: bare [`set_max_threads`] calls from
+/// concurrently running `#[test]`s race on the process-global override,
+/// so one test's `Some(1)` can leak into another's timing window. Scoping
+/// + locking here removes that flake class at the root.
+pub fn with_thread_cap<T>(cap: Option<usize>, f: impl FnOnce() -> T) -> T {
+    static CAP_LOCK: Mutex<()> = Mutex::new(());
+    let _serial = lock(&CAP_LOCK);
+    let prev = MAX_THREADS.swap(cap.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+    // Restore on unwind too: a panicking closure must not leave its cap
+    // behind for whoever takes the lock next.
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MAX_THREADS.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
 /// The current worker-thread cap: programmatic override, else
 /// `BREVAL_THREADS`, else `available_parallelism()` (min 1).
 #[must_use]
@@ -117,15 +142,42 @@ static POOL: OnceLock<scoped_threadpool::Pool> = OnceLock::new();
 /// Returns the resident pool, grown to at least `threads` workers.
 fn resident_pool(threads: usize) -> &'static scoped_threadpool::Pool {
     let pool = POOL.get_or_init(|| scoped_threadpool::Pool::new(0));
-    pool.ensure_threads(u32::try_from(threads).unwrap_or(u32::MAX));
+    let want = u32::try_from(threads).unwrap_or(u32::MAX);
+    pool.ensure_threads(want);
+    // Grow-only invariant: the pool always covers the largest cap it has
+    // ever been asked for; lowering the cap idles workers, never joins
+    // them. `pool_thread_count()` therefore tracks the high-water mark,
+    // not the active cap — `effective_workers` is the cap-side accounting.
+    debug_assert!(
+        pool.thread_count() >= want,
+        "resident pool shrank below a requested cap"
+    );
     pool
 }
 
 /// Number of resident pool worker threads spawned so far (the calling
 /// thread, which participates as worker 0, is not counted).
+///
+/// Because the pool is grow-only this is a **high-water mark**: after
+/// [`set_max_threads`] lowers the cap, the count stays at the largest cap
+/// ever used while the surplus workers idle parked. Use
+/// [`effective_workers`] for how many threads a call will actually run on.
 #[must_use]
 pub fn pool_thread_count() -> usize {
     POOL.get().map_or(0, |p| p.thread_count() as usize)
+}
+
+/// The number of threads (caller included) a parallel call over `n` items
+/// will actually use under the current cap: `min(max_threads(), n)`, and
+/// `0` for an empty call. This — not [`pool_thread_count`] — is the
+/// honest per-call accounting once the cap has been lowered below the
+/// pool's resident high-water mark.
+#[must_use]
+pub fn effective_workers(n: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    max_threads().min(n).max(1)
 }
 
 thread_local! {
@@ -540,6 +592,52 @@ mod tests {
         assert_eq!(max_threads(), 1);
         set_max_threads(None);
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn with_thread_cap_scopes_and_restores_the_override() {
+        let _t = locked();
+        set_max_threads(Some(5));
+        let inner = with_thread_cap(Some(2), || {
+            assert_eq!(max_threads(), 2);
+            parallel_map(10, |i| i)
+        });
+        assert_eq!(inner, (0..10).collect::<Vec<_>>());
+        assert_eq!(max_threads(), 5, "previous override restored");
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn with_thread_cap_restores_on_panic() {
+        let _t = locked();
+        set_max_threads(Some(5));
+        let r = std::panic::catch_unwind(|| {
+            with_thread_cap(Some(1), || panic!("injected"));
+        });
+        assert!(r.is_err());
+        assert_eq!(max_threads(), 5, "cap restored despite the panic");
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn effective_workers_tracks_the_cap_not_the_pool() {
+        let _t = locked();
+        // Grow the pool high, then lower the cap: the resident count stays
+        // at its high-water mark while the per-call accounting follows the
+        // cap.
+        set_max_threads(Some(4));
+        let _ = parallel_map(32, |i| i);
+        let high_water = pool_thread_count();
+        assert!(high_water >= 3);
+        set_max_threads(Some(2));
+        assert_eq!(effective_workers(32), 2);
+        assert_eq!(effective_workers(1), 1);
+        assert_eq!(effective_workers(0), 0);
+        assert!(
+            pool_thread_count() >= high_water,
+            "lowering the cap must never shrink the pool"
+        );
+        set_max_threads(None);
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub enum CallRef {
 /// flood the call graph with false edges (and drag unrelated types into
 /// kernel closures). Calls through these names still resolve when written
 /// as `self.push(..)` (via [`CallRef::SelfMethod`]) or `Type::push(..)`.
-const STD_METHOD_NAMES: [&str; 24] = [
+const STD_METHOD_NAMES: [&str; 26] = [
     "push",
     "pop",
     "get",
@@ -103,6 +103,10 @@ const STD_METHOD_NAMES: [&str; 24] = [
     "read",
     "drain",
     "retain",
+    // Atomic / cell API: `ENABLED.load(Ordering::..)` in any crate would
+    // otherwise edge into every workspace method named `load`.
+    "load",
+    "store",
 ];
 
 /// The fully loaded and indexed workspace.

@@ -53,15 +53,21 @@ fn parallel_run_matches_single_thread() {
         out
     };
     for seed in [5u64, 21] {
-        breval::par::set_max_threads(Some(1));
-        let single = Scenario::run(ScenarioConfig::small(seed));
-        let single_analyses = analyses(&single);
-        let single_kernels = dense_kernels(&single);
-        breval::par::set_max_threads(Some(4));
-        let multi = Scenario::run(ScenarioConfig::small(seed));
-        let multi_analyses = analyses(&multi);
-        let multi_kernels = dense_kernels(&multi);
-        breval::par::set_max_threads(None);
+        // `with_thread_cap` scopes + serialises the process-global cap, so
+        // concurrently running tests can't observe each other's override.
+        let (single, single_analyses, single_kernels) =
+            breval::par::with_thread_cap(Some(1), || {
+                let s = Scenario::run(ScenarioConfig::small(seed));
+                let a = analyses(&s);
+                let k = dense_kernels(&s);
+                (s, a, k)
+            });
+        let (multi, multi_analyses, multi_kernels) = breval::par::with_thread_cap(Some(4), || {
+            let s = Scenario::run(ScenarioConfig::small(seed));
+            let a = analyses(&s);
+            let k = dense_kernels(&s);
+            (s, a, k)
+        });
 
         assert_eq!(
             single.snapshot.observations, multi.snapshot.observations,
@@ -143,9 +149,9 @@ fn journal_does_not_change_outputs() {
         breval::obs::set_enabled(true);
         breval::obs::set_journal_enabled(journal);
         breval::obs::reset();
-        breval::par::set_max_threads(Some(threads));
-        let s = Scenario::run(ScenarioConfig::small(13));
-        breval::par::set_max_threads(None);
+        let s = breval::par::with_thread_cap(Some(threads), || {
+            Scenario::run(ScenarioConfig::small(13))
+        });
         breval::obs::set_journal_enabled(false);
         breval::obs::set_enabled(false);
         (
