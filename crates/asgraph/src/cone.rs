@@ -142,15 +142,39 @@ pub fn customer_cone_sizes_csr(csr: &CsrGraph) -> ConeSizes {
     ConeSizes::from_parts(csr.indexer().clone(), sizes)
 }
 
-/// Provider/peer observed customer cones as dense bitsets: one lazily
-/// allocated row of `u64` words per AS that was actually reached from a
-/// provider or peer. ASes that never were still own the implicit self-cone
-/// `{asn}` (size 1) without allocating a row.
+/// The number of members below which a PPDC row is stored sparse. A sparse
+/// row costs `4·m` bytes against `n/8` for a bitset row, so the break-even
+/// density is `m = n/32`; the floor keeps tiny graphs from paying the
+/// binary-search path for rows a single word could hold.
+#[must_use]
+pub(crate) fn sparse_cutoff(n: usize) -> usize {
+    (n / 32).max(8)
+}
+
+/// One AS's explicit PPDC cone row. The representation is a deterministic
+/// function of the member count: below [`sparse_cutoff`] the row is a sorted
+/// id list, at or above it a fixed-width bitset — so equal cones always
+/// serialize byte-identically regardless of insertion history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PpdcRow {
+    /// Strictly ascending dense ids, the owner's own id included.
+    Sparse(Box<[u32]>),
+    /// One bit per observed AS (`n.div_ceil(64)` words, tail bits clear).
+    Dense(Box<[u64]>),
+}
+
+/// Provider/peer observed customer cones in hybrid compressed form: one
+/// lazily allocated [`PpdcRow`] per AS that was actually reached from a
+/// provider or peer — a sorted-id list while the cone is sparse, a dense
+/// bitset once it crosses [`sparse_cutoff`]. ASes never reached that way
+/// still own the implicit self-cone `{asn}` (size 1) without allocating a
+/// row. At million-AS scale almost every cone is sparse, which is what keeps
+/// the table `O(total members)` instead of `O(n²/8)` bytes.
 #[derive(Debug, Clone, Default)]
 pub struct PpdcCones {
     pub(crate) indexer: AsIndexer,
-    /// One bit per observed AS; `None` means the implicit self-only cone.
-    pub(crate) rows: Vec<Option<Box<[u64]>>>,
+    /// Per-AS row; `None` means the implicit self-only cone.
+    pub(crate) rows: Vec<Option<PpdcRow>>,
 }
 
 impl PpdcCones {
@@ -160,15 +184,18 @@ impl PpdcCones {
         &self.indexer
     }
 
-    /// Cone size behind a dense id (popcount of the row; 1 without a row).
+    /// Cone size behind a dense id (list length or popcount of the row;
+    /// 1 without a row).
     ///
     /// # Panics
     /// If `id` is out of range for the indexer.
     #[must_use]
     pub fn size_by_id(&self, id: u32) -> usize {
-        self.rows[id as usize]
-            .as_ref()
-            .map_or(1, |row| row.iter().map(|w| w.count_ones() as usize).sum())
+        match &self.rows[id as usize] {
+            None => 1,
+            Some(PpdcRow::Sparse(ids)) => ids.len(),
+            Some(PpdcRow::Dense(words)) => words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
     }
 
     /// The cone size of `asn`, or `None` if it was never observed on a path.
@@ -178,16 +205,18 @@ impl PpdcCones {
     }
 
     /// Whether `member` is in the PPDC cone of `asn`, or `None` if `asn`
-    /// itself was never observed on a path. An allocation-free bit probe
-    /// (rows carry the self bit; a rowless AS owns the implicit `{asn}`
-    /// cone), safe on the lock-free query path.
+    /// itself was never observed on a path. Allocation-free — a binary
+    /// search on sparse rows, a bit probe on dense ones (rows carry the
+    /// self entry; a rowless AS owns the implicit `{asn}` cone) — so it is
+    /// safe on the lock-free query path.
     #[must_use]
     pub fn contains(&self, asn: Asn, member: Asn) -> Option<bool> {
         let id = self.indexer.id(asn)?;
         let row = self.rows.get(id as usize)?;
         Some(match (row, self.indexer.id(member)) {
             (None, _) => member == asn,
-            (Some(row), Some(m)) => row
+            (Some(PpdcRow::Sparse(ids)), Some(m)) => ids.binary_search(&m).is_ok(),
+            (Some(PpdcRow::Dense(words)), Some(m)) => words
                 .get(m as usize / 64)
                 .is_some_and(|word| word & (1u64 << (m % 64)) != 0),
             (Some(_), None) => false,
@@ -200,9 +229,10 @@ impl PpdcCones {
         let id = self.indexer.id(asn)?;
         Some(match &self.rows[id as usize] {
             None => BTreeSet::from([asn]),
-            Some(row) => {
+            Some(PpdcRow::Sparse(ids)) => ids.iter().map(|&m| self.indexer.asn(m)).collect(),
+            Some(PpdcRow::Dense(words)) => {
                 let mut out = BTreeSet::new();
-                for (word_idx, &word) in row.iter().enumerate() {
+                for (word_idx, &word) in words.iter().enumerate() {
                     let mut bits = word;
                     while bits != 0 {
                         let bit = bits.trailing_zeros();
@@ -223,6 +253,44 @@ impl PpdcCones {
             .collect();
         ConeSizes::from_parts(self.indexer.clone(), sizes)
     }
+
+    /// Storage accounting for the hybrid representation: how many rows
+    /// landed on each form and what they cost against the all-bitset
+    /// layout this replaced (`BENCH_scale.json` records the ratio).
+    #[must_use]
+    pub fn storage_stats(&self) -> PpdcStorageStats {
+        let words_per_row = self.indexer.len().div_ceil(64);
+        let mut stats = PpdcStorageStats::default();
+        for row in &self.rows {
+            match row {
+                None => {}
+                Some(PpdcRow::Sparse(ids)) => {
+                    stats.sparse_rows += 1;
+                    stats.sparse_members += ids.len();
+                }
+                Some(PpdcRow::Dense(_)) => stats.dense_rows += 1,
+            }
+        }
+        stats.hybrid_bytes = stats.sparse_members * 4 + stats.dense_rows * words_per_row * 8;
+        stats.flat_bytes = (stats.sparse_rows + stats.dense_rows) * words_per_row * 8;
+        stats
+    }
+}
+
+/// What the hybrid PPDC rows cost on the heap, against the flat all-bitset
+/// layout (see [`PpdcCones::storage_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PpdcStorageStats {
+    /// Rows stored as sorted id lists (below the density cutoff).
+    pub sparse_rows: usize,
+    /// Rows stored as fixed-width bitsets (at or above the cutoff).
+    pub dense_rows: usize,
+    /// Total member entries across all sparse rows.
+    pub sparse_members: usize,
+    /// Heap bytes behind the hybrid rows (`4·sparse_members + 8·words·dense_rows`).
+    pub hybrid_bytes: usize,
+    /// What the same rows would cost as all-dense bitsets (`8·words·rows`).
+    pub flat_bytes: usize,
 }
 
 /// Computes the provider/peer observed customer cones (PPDC) from observed
@@ -250,7 +318,8 @@ pub fn ppdc_cones(paths: &PathSet, rels: &BTreeMap<Link, Rel>) -> PpdcCones {
     let indexer = AsIndexer::from_unsorted(observed);
     let n = indexer.len();
     let words = n.div_ceil(64);
-    let mut rows: Vec<Option<Box<[u64]>>> = vec![None; n];
+    let cutoff = sparse_cutoff(n);
+    let mut rows: Vec<Option<BuildRow>> = vec![None; n];
     for op in paths.paths() {
         compress_into(op.path.hops(), &mut buf);
         let c = buf.as_slice();
@@ -267,21 +336,79 @@ pub fn ppdc_cones(paths: &PathSet, rels: &BTreeMap<Link, Rel>) -> PpdcCones {
             };
             if from_provider_or_peer {
                 let x_id = indexer.id(x).expect("path hop is an observed AS");
-                let row = rows[x_id as usize].get_or_insert_with(|| {
-                    let mut fresh = vec![0u64; words].into_boxed_slice();
-                    // Self-membership, matching the `or_default().insert(asn)`
-                    // of the hash-based baseline.
-                    fresh[x_id as usize / 64] |= 1u64 << (x_id % 64);
-                    fresh
-                });
+                // Self-membership, matching the `or_default().insert(asn)`
+                // of the hash-based baseline.
+                let row = rows[x_id as usize].get_or_insert_with(|| BuildRow::Sparse(vec![x_id]));
                 for &d in &c[i + 1..] {
                     let d_id = indexer.id(d).expect("path hop is an observed AS");
-                    row[d_id as usize / 64] |= 1u64 << (d_id % 64);
+                    row.insert(d_id, cutoff, words);
                 }
             }
         }
     }
+    let rows = rows
+        .into_iter()
+        .map(|row| row.map(|r| r.finish(cutoff, words)))
+        .collect();
     PpdcCones { indexer, rows }
+}
+
+/// Build-time accumulator behind one PPDC row. Starts as an unsorted id
+/// list (duplicates allowed), compacts in place when it doubles past the
+/// density cutoff, and converts to a bitset once the *unique* member count
+/// reaches the cutoff — so the peak build footprint of a sparse row is
+/// `O(cutoff)` and inserts stay amortized `O(1)` either way.
+#[derive(Debug, Clone)]
+enum BuildRow {
+    /// Unsorted dense ids, possibly with duplicates; self id always present.
+    Sparse(Vec<u32>),
+    /// Fixed-width bitset, identical to the final dense form.
+    Dense(Box<[u64]>),
+}
+
+impl BuildRow {
+    fn insert(&mut self, id: u32, cutoff: usize, words: usize) {
+        match self {
+            BuildRow::Sparse(ids) => {
+                ids.push(id);
+                if ids.len() >= 2 * cutoff {
+                    ids.sort_unstable();
+                    ids.dedup();
+                    if ids.len() >= cutoff {
+                        *self = BuildRow::Dense(to_bitset(ids, words));
+                    }
+                }
+            }
+            BuildRow::Dense(bits) => bits[id as usize / 64] |= 1u64 << (id % 64),
+        }
+    }
+
+    /// Seals the accumulator into the canonical [`PpdcRow`] form: dense iff
+    /// the unique member count reached `cutoff`. A row that went dense
+    /// during the build stays dense — membership only ever grows, so its
+    /// final count is necessarily at or above the cutoff too.
+    fn finish(self, cutoff: usize, words: usize) -> PpdcRow {
+        match self {
+            BuildRow::Sparse(mut ids) => {
+                ids.sort_unstable();
+                ids.dedup();
+                if ids.len() >= cutoff {
+                    PpdcRow::Dense(to_bitset(&ids, words))
+                } else {
+                    PpdcRow::Sparse(ids.into_boxed_slice())
+                }
+            }
+            BuildRow::Dense(bits) => PpdcRow::Dense(bits),
+        }
+    }
+}
+
+fn to_bitset(ids: &[u32], words: usize) -> Box<[u64]> {
+    let mut bits = vec![0u64; words].into_boxed_slice();
+    for &id in ids {
+        bits[id as usize / 64] |= 1u64 << (id % 64);
+    }
+    bits
 }
 
 /// Writes the prepend-compressed form of `hops` into `buf` (cleared first),
@@ -469,6 +596,60 @@ mod tests {
         ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3)]));
         let sizes = ppdc_sizes(&ps, &rels);
         assert_eq!(sizes.get(Asn(2)), Some(2));
+    }
+
+    #[test]
+    fn hybrid_rows_pick_representation_by_density() {
+        // One long provider chain 1→2→…→12: AS2's cone holds 11 members
+        // (itself plus everything behind it). With 12 observed ASes the
+        // cutoff floor of 8 applies, so the big cones go dense while the
+        // short tail cones stay sparse.
+        let chain: Vec<u32> = (1..=12).collect();
+        let mut rels = BTreeMap::new();
+        for w in chain.windows(2) {
+            rels.insert(l(w[0], w[1]), p2c(w[0]));
+        }
+        let mut ps = PathSet::new();
+        ps.push(Asn(1), AsPath::new(chain.iter().map(|&a| Asn(a)).collect()));
+        let cones = ppdc_cones(&ps, &rels);
+        assert_eq!(sparse_cutoff(cones.indexer().len()), 8);
+        let id = |a: u32| cones.indexer().id(Asn(a)).unwrap() as usize;
+        assert!(matches!(cones.rows[id(2)], Some(PpdcRow::Dense(_))));
+        assert!(matches!(cones.rows[id(11)], Some(PpdcRow::Sparse(_))));
+        assert_eq!(cones.size(Asn(2)), Some(11));
+        assert_eq!(cones.size(Asn(11)), Some(2));
+        assert_eq!(cones.contains(Asn(2), Asn(12)), Some(true));
+        assert_eq!(cones.contains(Asn(11), Asn(12)), Some(true));
+        assert_eq!(cones.contains(Asn(11), Asn(3)), Some(false));
+        // Both forms agree with the hash baseline, member for member.
+        let reference = baseline::ppdc_cones_hash(&ps, &rels);
+        for (&asn, members) in &reference {
+            let expect: BTreeSet<Asn> = members.iter().copied().collect();
+            assert_eq!(cones.members(asn), Some(expect), "cone of {asn:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_paths_compact_without_going_dense() {
+        // The same short path over and over pushes far past the 2×cutoff
+        // compaction trigger with only three unique members — the row must
+        // dedup in place and stay sparse.
+        let mut rels = BTreeMap::new();
+        rels.insert(l(1, 2), p2c(1));
+        let mut ps = PathSet::new();
+        for _ in 0..40 {
+            ps.push(Asn(1), AsPath::new(vec![Asn(1), Asn(2), Asn(3), Asn(4)]));
+        }
+        let cones = ppdc_cones(&ps, &rels);
+        let id2 = cones.indexer().id(Asn(2)).unwrap() as usize;
+        match &cones.rows[id2] {
+            Some(PpdcRow::Sparse(ids)) => assert_eq!(ids.len(), 3),
+            other => panic!("expected a sparse row, got {other:?}"),
+        }
+        assert_eq!(
+            cones.members(Asn(2)).unwrap(),
+            BTreeSet::from([Asn(2), Asn(3), Asn(4)])
+        );
     }
 
     #[test]

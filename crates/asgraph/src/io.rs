@@ -16,7 +16,7 @@
 //! [`IoError`] — never a panic.
 
 use crate::asn::Asn;
-use crate::cone::{ConeSizes, PpdcCones};
+use crate::cone::{sparse_cutoff, ConeSizes, PpdcCones, PpdcRow};
 use crate::csr::{Csr, CsrGraph};
 use crate::index::AsIndexer;
 use std::fmt;
@@ -430,45 +430,126 @@ pub fn read_cone_sizes(r: &mut ByteReader) -> Result<ConeSizes, IoError> {
     Ok(ConeSizes { indexer, sizes })
 }
 
-/// Writes a [`PpdcCones`]: its indexer, the ascending ids of ASes that own
-/// an explicit bitset row, then all those rows' words concatenated. ASes
-/// without a row (implicit self-only cones) cost zero bytes.
+/// Writes a [`PpdcCones`] in the hybrid layout: its indexer, the sparse
+/// rows (ascending owner ids, per-row member counts, all sorted members
+/// concatenated), then the dense rows (ascending owner ids, fixed-width
+/// bitset words concatenated). ASes without a row (implicit self-only
+/// cones) cost zero bytes, and a mostly-sparse cone table serializes in
+/// `O(total members)` bytes instead of `O(rows · n/8)`.
 pub fn write_ppdc_cones(w: &mut ByteWriter, cones: &PpdcCones) {
     write_indexer(w, cones.indexer());
-    let mut present: Vec<u32> = Vec::new();
-    let mut words: Vec<u64> = Vec::new();
+    let mut sparse_ids: Vec<u32> = Vec::new();
+    let mut sparse_lens: Vec<u32> = Vec::new();
+    let mut sparse_members: Vec<u32> = Vec::new();
+    let mut dense_ids: Vec<u32> = Vec::new();
+    let mut dense_words: Vec<u64> = Vec::new();
     for (id, row) in cones.rows.iter().enumerate() {
-        if let Some(row) = row {
-            present.push(id as u32);
-            words.extend_from_slice(row);
+        match row {
+            None => {}
+            Some(PpdcRow::Sparse(ids)) => {
+                sparse_ids.push(id as u32);
+                sparse_lens.push(ids.len() as u32);
+                sparse_members.extend_from_slice(ids);
+            }
+            Some(PpdcRow::Dense(words)) => {
+                dense_ids.push(id as u32);
+                dense_words.extend_from_slice(words);
+            }
         }
     }
-    w.put_u32_slice(&present);
-    w.put_u64_slice(&words);
+    w.put_u32_slice(&sparse_ids);
+    w.put_u32_slice(&sparse_lens);
+    w.put_u32_slice(&sparse_members);
+    w.put_u32_slice(&dense_ids);
+    w.put_u64_slice(&dense_words);
 }
 
 /// Reads a [`PpdcCones`] written by [`write_ppdc_cones`], validating row
-/// ids, word counts, and that no bit beyond the indexed range is set.
+/// ids, lengths, member ordering, the density split (sparse rows below the
+/// cutoff, dense rows at or above it — so equal cones have exactly one
+/// loadable encoding), and that no bit beyond the indexed range is set.
 pub fn read_ppdc_cones(r: &mut ByteReader) -> Result<PpdcCones, IoError> {
     let indexer = read_indexer(r)?;
     let n = indexer.len();
     let words_per_row = n.div_ceil(64);
+    let cutoff = sparse_cutoff(n);
+
     let at = r.offset();
-    let present = r.take_u32_slice()?;
-    let ids_ok =
-        present.windows(2).all(|w| w[0] < w[1]) && present.iter().all(|&id| (id as usize) < n);
+    let sparse_ids = r.take_u32_slice()?;
+    let ids_ok = sparse_ids.windows(2).all(|w| w[0] < w[1])
+        && sparse_ids.iter().all(|&id| (id as usize) < n);
     if !ids_ok {
         return Err(IoError::Invalid {
             offset: at,
-            what: "PPDC row ids are not ascending in-range node ids",
+            what: "sparse PPDC row ids are not ascending in-range node ids",
         });
     }
     let at = r.offset();
-    let words = r.take_u64_slice()?;
-    if words.len() != present.len() * words_per_row {
+    let sparse_lens = r.take_u32_slice()?;
+    if sparse_lens.len() != sparse_ids.len() {
         return Err(IoError::Invalid {
             offset: at,
-            what: "PPDC word count does not match row count",
+            what: "sparse PPDC length count does not match row count",
+        });
+    }
+    // A sparse row always holds at least its owner and, by the density
+    // rule, strictly fewer members than the cutoff.
+    if !sparse_lens
+        .iter()
+        .all(|&len| len >= 1 && (len as usize) < cutoff)
+    {
+        return Err(IoError::Invalid {
+            offset: at,
+            what: "sparse PPDC row length is outside 1..cutoff",
+        });
+    }
+    let at = r.offset();
+    let sparse_members = r.take_u32_slice()?;
+    let total: u64 = sparse_lens.iter().map(|&len| u64::from(len)).sum();
+    if total != sparse_members.len() as u64 {
+        return Err(IoError::Invalid {
+            offset: at,
+            what: "sparse PPDC member count does not match the row lengths",
+        });
+    }
+    let mut rows: Vec<Option<PpdcRow>> = vec![None; n];
+    let mut off = 0usize;
+    for (&id, &len) in sparse_ids.iter().zip(&sparse_lens) {
+        let members = &sparse_members[off..off + len as usize];
+        off += len as usize;
+        let members_ok =
+            members.windows(2).all(|w| w[0] < w[1]) && members.iter().all(|&m| (m as usize) < n);
+        if !members_ok {
+            return Err(IoError::Invalid {
+                offset: at,
+                what: "sparse PPDC row members are not ascending in-range ids",
+            });
+        }
+        rows[id as usize] = Some(PpdcRow::Sparse(members.to_vec().into_boxed_slice()));
+    }
+
+    let at = r.offset();
+    let dense_ids = r.take_u32_slice()?;
+    let ids_ok =
+        dense_ids.windows(2).all(|w| w[0] < w[1]) && dense_ids.iter().all(|&id| (id as usize) < n);
+    if !ids_ok {
+        return Err(IoError::Invalid {
+            offset: at,
+            what: "dense PPDC row ids are not ascending in-range node ids",
+        });
+    }
+    if dense_ids.iter().any(|&id| rows[id as usize].is_some()) {
+        return Err(IoError::Invalid {
+            offset: at,
+            what: "PPDC row is both sparse and dense",
+        });
+    }
+    let at = r.offset();
+    let dense_words = r.take_u64_slice()?;
+    if dense_words.len() != dense_ids.len() * words_per_row {
+        return Err(IoError::Invalid {
+            offset: at,
+            what: "dense PPDC word count does not match row count",
         });
     }
     // Bits addressing ids >= n would silently change popcounts; reject them
@@ -476,20 +557,29 @@ pub fn read_ppdc_cones(r: &mut ByteReader) -> Result<PpdcCones, IoError> {
     let tail_bits = words_per_row * 64 - n;
     if words_per_row > 0 && tail_bits > 0 {
         let mask = !0u64 << (64 - tail_bits as u32);
-        let tails_clean = words
+        let tails_clean = dense_words
             .chunks_exact(words_per_row)
             .all(|row| row.last().is_none_or(|&last| last & mask == 0));
         if !tails_clean {
             return Err(IoError::Invalid {
                 offset: at,
-                what: "PPDC row sets bits beyond the indexed range",
+                what: "dense PPDC row sets bits beyond the indexed range",
             });
         }
     }
-    let mut rows: Vec<Option<Box<[u64]>>> = vec![None; n];
     if words_per_row > 0 {
-        for (slot, row) in present.iter().zip(words.chunks_exact(words_per_row)) {
-            rows[*slot as usize] = Some(row.to_vec().into_boxed_slice());
+        for (slot, row) in dense_ids
+            .iter()
+            .zip(dense_words.chunks_exact(words_per_row))
+        {
+            let members: usize = row.iter().map(|w| w.count_ones() as usize).sum();
+            if members < cutoff {
+                return Err(IoError::Invalid {
+                    offset: at,
+                    what: "dense PPDC row is below the sparse cutoff",
+                });
+            }
+            rows[*slot as usize] = Some(PpdcRow::Dense(row.to_vec().into_boxed_slice()));
         }
     }
     Ok(PpdcCones { indexer, rows })
@@ -557,6 +647,106 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(read_indexer(&mut r), Err(IoError::Invalid { .. })));
+    }
+
+    fn ppdc_stream(
+        n: u32,
+        sparse_ids: &[u32],
+        sparse_lens: &[u32],
+        sparse_members: &[u32],
+        dense_ids: &[u32],
+        dense_words: &[u64],
+    ) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        write_indexer(&mut w, &AsIndexer::from_sorted((1..=n).map(Asn).collect()));
+        w.put_u32_slice(sparse_ids);
+        w.put_u32_slice(sparse_lens);
+        w.put_u32_slice(sparse_members);
+        w.put_u32_slice(dense_ids);
+        w.put_u64_slice(dense_words);
+        w.into_bytes()
+    }
+
+    fn ppdc_rejected(bytes: &[u8]) -> bool {
+        let mut r = ByteReader::new(bytes);
+        matches!(read_ppdc_cones(&mut r), Err(IoError::Invalid { .. }))
+    }
+
+    #[test]
+    fn ppdc_sparse_rows_are_validated() {
+        // Members out of ascending order.
+        assert!(ppdc_rejected(&ppdc_stream(
+            3,
+            &[0],
+            &[2],
+            &[2, 0],
+            &[],
+            &[]
+        )));
+        // Member id beyond the indexer.
+        assert!(ppdc_rejected(&ppdc_stream(
+            3,
+            &[0],
+            &[2],
+            &[0, 7],
+            &[],
+            &[]
+        )));
+        // Empty row (a row always holds at least its owner).
+        assert!(ppdc_rejected(&ppdc_stream(3, &[0], &[0], &[], &[], &[])));
+        // Row at the cutoff must have been encoded dense instead.
+        assert!(ppdc_rejected(&ppdc_stream(
+            9,
+            &[0],
+            &[8],
+            &[0, 1, 2, 3, 4, 5, 6, 7],
+            &[],
+            &[],
+        )));
+        // Length table disagrees with the member payload.
+        assert!(ppdc_rejected(&ppdc_stream(3, &[0], &[2], &[0], &[], &[])));
+        // A well-formed sparse row decodes.
+        assert!(!ppdc_rejected(&ppdc_stream(
+            3,
+            &[0],
+            &[2],
+            &[0, 2],
+            &[],
+            &[]
+        )));
+    }
+
+    #[test]
+    fn ppdc_dense_rows_are_validated() {
+        // Popcount below the cutoff: should have been sparse.
+        assert!(ppdc_rejected(&ppdc_stream(9, &[], &[], &[], &[0], &[0b11])));
+        // Tail bits beyond the indexed range.
+        assert!(ppdc_rejected(&ppdc_stream(
+            9,
+            &[],
+            &[],
+            &[],
+            &[0],
+            &[0xffff_ffff_ffff_ffff],
+        )));
+        // Same id in both the sparse and dense tables.
+        assert!(ppdc_rejected(&ppdc_stream(
+            9,
+            &[0],
+            &[1],
+            &[0],
+            &[0],
+            &[0b1_1111_1111],
+        )));
+        // A full in-range row (9 bits, at the cutoff of 8) decodes.
+        assert!(!ppdc_rejected(&ppdc_stream(
+            9,
+            &[],
+            &[],
+            &[],
+            &[0],
+            &[0b1_1111_1111],
+        )));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod rel;
 pub mod valley;
 
 pub use asn::Asn;
-pub use cone::{ConeSizes, PpdcCones};
+pub use cone::{ConeSizes, PpdcCones, PpdcStorageStats};
 pub use csr::{ConeScratch, CsrGraph};
 pub use error::GraphError;
 pub use graph::{AsGraph, NeighborRole};

@@ -34,7 +34,9 @@ fn arb_graph() -> impl Strategy<Value = AsGraph> {
 }
 
 fn arb_pathset() -> impl Strategy<Value = PathSet> {
-    prop::collection::vec(prop::collection::vec(arb_asn(), 0..8), 0..25).prop_map(|paths| {
+    // Paths long enough that some PPDC cones cross the sparse/dense cutoff
+    // (8 at this scale), so both row representations are exercised.
+    prop::collection::vec(prop::collection::vec(arb_asn(), 0..16), 0..25).prop_map(|paths| {
         let mut ps = PathSet::new();
         for hops in paths {
             let path = AsPath::new(hops);
@@ -96,8 +98,10 @@ proptest! {
         }
     }
 
-    /// Bitset PPDC cones equal the hash-based baseline: same key set, same
-    /// members, same sizes.
+    /// Hybrid PPDC cones (sparse id lists below the density cutoff, bitset
+    /// rows above it) equal the hash-based baseline: same key set, same
+    /// members, same sizes, same membership answers, and ASN-ascending
+    /// iteration — whichever representation each row landed on.
     #[test]
     fn ppdc_bitsets_match_baseline(ps in arb_pathset(), g in arb_graph()) {
         let rels: std::collections::BTreeMap<Link, Rel> = g.links().collect();
@@ -105,10 +109,23 @@ proptest! {
         let reference = cone::baseline::ppdc_cones_hash(&ps, &rels);
         prop_assert_eq!(dense.indexer().len(), reference.len());
         let sizes = dense.sizes();
+        let all: Vec<Asn> = dense.indexer().iter().collect();
         for (asn, members) in &reference {
             let expect: BTreeSet<Asn> = members.iter().copied().collect();
+            // `contains` agrees with the reference for every observed AS,
+            // member or not (binary search vs bit probe per row form).
+            for &candidate in &all {
+                prop_assert_eq!(
+                    dense.contains(*asn, candidate),
+                    Some(expect.contains(&candidate))
+                );
+            }
+            prop_assert_eq!(dense.contains(*asn, Asn(u32::MAX)), Some(false));
             prop_assert_eq!(dense.members(*asn), Some(expect));
             prop_assert_eq!(sizes.get(*asn), Some(members.len()));
         }
+        // Size iteration stays in strictly ascending ASN order.
+        let order: Vec<Asn> = sizes.iter().map(|(a, _)| a).collect();
+        prop_assert!(order.windows(2).all(|w| w[0] < w[1]));
     }
 }

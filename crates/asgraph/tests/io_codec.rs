@@ -31,9 +31,10 @@ fn arb_graph() -> impl Strategy<Value = AsGraph> {
     })
 }
 
-/// Random observed paths over the same ASN space.
+/// Random observed paths over the same ASN space, long enough that some
+/// PPDC rows cross the sparse/dense cutoff and both row encodings appear.
 fn arb_paths() -> impl Strategy<Value = PathSet> {
-    proptest::collection::vec(proptest::collection::vec(1u32..40, 2..6), 0..30).prop_map(|paths| {
+    proptest::collection::vec(proptest::collection::vec(1u32..40, 2..16), 0..30).prop_map(|paths| {
         let mut ps = PathSet::new();
         for hops in paths {
             let hops: Vec<Asn> = hops.into_iter().map(Asn).collect();
@@ -119,6 +120,43 @@ proptest! {
         // never panic or allocate from an unvalidated length.
         let _ = decode_all(&bytes);
     }
+}
+
+#[test]
+fn hybrid_ppdc_round_trips_both_row_forms() {
+    // A 12-AS provider chain: AS2's cone (11 members) is dense at the
+    // cutoff floor of 8, the tail cones are sparse — so one stream carries
+    // both encodings and must round-trip byte-identically.
+    let mut g = AsGraph::new();
+    let chain: Vec<Asn> = (1..=12).map(Asn).collect();
+    for w in chain.windows(2) {
+        g.add_rel(
+            Link::new(w[0], w[1]).expect("distinct"),
+            Rel::P2c { provider: w[0] },
+        )
+        .expect("fresh link");
+    }
+    let mut ps = PathSet::new();
+    ps.push(chain[0], AsPath::new(chain));
+    let rels: BTreeMap<Link, Rel> = g.links().collect();
+    let ppdc = cone::ppdc_cones(&ps, &rels);
+    // Sizes witness the split: 11 >= cutoff (dense), 2 < cutoff (sparse).
+    assert_eq!(ppdc.size(Asn(2)), Some(11));
+    assert_eq!(ppdc.size(Asn(11)), Some(2));
+
+    let mut w = ByteWriter::new();
+    write_ppdc_cones(&mut w, &ppdc);
+    let bytes = w.into_bytes();
+    let mut r = ByteReader::new(&bytes);
+    let ppdc2 = read_ppdc_cones(&mut r).expect("hybrid ppdc decodes");
+    r.finish().expect("stream fully consumed");
+    for asn in (1..=12).map(Asn) {
+        assert_eq!(ppdc2.members(asn), ppdc.members(asn));
+        assert_eq!(ppdc2.size(asn), ppdc.size(asn));
+    }
+    let mut w = ByteWriter::new();
+    write_ppdc_cones(&mut w, &ppdc2);
+    assert_eq!(w.into_bytes(), bytes);
 }
 
 #[test]

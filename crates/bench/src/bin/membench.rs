@@ -51,6 +51,13 @@ struct BenchMem {
     scenario: String,
     seed: u64,
     threads: usize,
+    /// Threads the measuring machine actually has — wall numbers taken on
+    /// fewer cores than `threads` would claim are flagged, machine-readably,
+    /// by `exceeds_hardware` (same convention as `BENCH_par.json`).
+    hardware_threads: usize,
+    /// `true` when `threads` exceeds `hardware_threads`, i.e. the walls are
+    /// oversubscribed and not comparable to a full-width machine.
+    exceeds_hardware: bool,
     stages: Vec<MemStage>,
     comparisons: Vec<MemComparison>,
 }
@@ -270,11 +277,14 @@ fn main() {
     stages.push(coverage_ids_stage);
     stages.push(coverage_strings_stage);
 
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let bench = BenchMem {
         name: "membench".to_owned(),
         scenario: if full { "default" } else { "small" }.to_owned(),
         seed,
         threads: 1,
+        hardware_threads,
+        exceeds_hardware: 1 > hardware_threads,
         stages,
         comparisons,
     };

@@ -1,0 +1,369 @@
+//! Million-AS scale benchmark: per-stage walls, allocation counts, and peak
+//! RSS for the streaming pipeline at 10k / 100k / 1M ASes, written to
+//! `BENCH_scale.json` at the repository root.
+//!
+//! Each tier exercises the three scale-critical layers end to end:
+//!
+//! 1. **topogen** — streaming generation (`TopologyConfig::scaled`),
+//! 2. **bgpsim** — bounded-memory propagation: one reused
+//!    [`bgpsim::OriginRoutes`] + [`bgpsim::PropScratch`] across a sampled
+//!    origin set, recording the first-origin allocation cost (buffer growth
+//!    to the tier's node count) separately from the steady-state
+//!    per-origin allocations, which must stay near zero — that split *is*
+//!    the bounded-memory proof,
+//! 3. **asgraph** — hybrid PPDC cones over the vantage-point paths, with
+//!    [`asgraph::PpdcCones::storage_stats`] comparing the hybrid byte
+//!    footprint against the flat all-bitset layout it replaced.
+//!
+//! The 10k and 100k tiers are *measured* (honest walls at the pinned
+//! 1-thread cap); the 1M tier is a *demonstration* run with a smaller
+//! origin sample whose purpose is showing the pipeline completes
+//! memory-bounded at seven-figure AS counts, not producing comparable
+//! walls. Peak RSS is the process high-water mark (`VmHWM`), which is
+//! monotone across tiers run in one process — only the last (largest)
+//! tier's value reflects that tier alone.
+//!
+//! Pass `--smoke` to run only the 10k tier (the CI configuration). The
+//! thread cap is pinned to 1 so allocation counts are deterministic and
+//! walls are honest on the 1-core CI runner; `hardware_threads` /
+//! `exceeds_hardware` record the machine width machine-readably (same
+//! convention as `BENCH_par.json`).
+
+#![forbid(unsafe_code)]
+
+use asgraph::{cone, AsPath, Link, PathSet, Rel};
+use bgpsim::{OriginRoutes, PropScratch, Propagator, SimGraph};
+use std::collections::BTreeMap;
+
+#[global_allocator]
+static ALLOC: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc::new();
+
+const SEED: u64 = 42;
+
+/// One measured pipeline stage within a tier.
+#[derive(serde::Serialize)]
+struct ScaleStage {
+    stage: &'static str,
+    wall_ms: f64,
+    allocations: u64,
+    allocated_bytes: u64,
+}
+
+/// The bounded-memory propagation evidence for one tier.
+#[derive(serde::Serialize)]
+struct PropagationProof {
+    /// Origins propagated (evenly spaced over the node index space).
+    origins_sampled: usize,
+    /// Allocations charged to the *first* origin — buffer growth to the
+    /// tier's node count, paid once.
+    first_origin_allocations: u64,
+    /// Mean allocations per origin over the remaining origins with the
+    /// buffers warm. Near zero ⇒ propagation memory is bounded by the
+    /// graph size, not the origin count.
+    steady_allocations_per_origin: f64,
+    /// Total nodes reached across all sampled origins (work witness).
+    reached_total: u64,
+}
+
+/// Hybrid PPDC storage outcome for one tier.
+#[derive(serde::Serialize)]
+struct PpdcFootprint {
+    sparse_rows: usize,
+    dense_rows: usize,
+    hybrid_bytes: usize,
+    /// Bytes the flat all-bitset layout would have needed for the same rows.
+    flat_bytes: usize,
+    /// `flat_bytes / hybrid_bytes` — ≥ 1 whenever any row stays sparse.
+    compression_ratio: f64,
+}
+
+/// One scale tier's full record.
+#[derive(serde::Serialize)]
+struct ScaleTier {
+    tier: &'static str,
+    target_ases: usize,
+    as_count: usize,
+    link_count: usize,
+    /// `true`: honest comparable walls. `false`: demonstration run (1M) —
+    /// completes memory-bounded, walls not comparable across tiers.
+    measured: bool,
+    stages: Vec<ScaleStage>,
+    propagation: PropagationProof,
+    ppdc: PpdcFootprint,
+    /// Process `VmHWM` after this tier, in kiB (monotone across tiers).
+    peak_rss_kb: u64,
+}
+
+/// The `BENCH_scale.json` document.
+#[derive(serde::Serialize)]
+struct BenchScale {
+    name: String,
+    seed: u64,
+    threads: usize,
+    /// Threads the measuring machine actually has (honesty flag, same
+    /// convention as `BENCH_par.json`).
+    hardware_threads: usize,
+    /// `true` when `threads` exceeds `hardware_threads`.
+    exceeds_hardware: bool,
+    /// `true` when only the 10k tier ran (`--smoke`, the CI configuration).
+    smoke: bool,
+    tiers: Vec<ScaleTier>,
+}
+
+/// Snapshot of the allocator counters and a span's wall total; `finish`
+/// turns it into the stage's deltas (the membench/snapbench pattern —
+/// timing goes through `breval_obs`, never ad-hoc clocks).
+struct Probe {
+    span: &'static str,
+    allocations: u64,
+    bytes: u64,
+    wall: f64,
+}
+
+fn probe(span: &'static str) -> Probe {
+    Probe {
+        span,
+        allocations: counting_alloc::allocation_count(),
+        bytes: counting_alloc::allocated_bytes(),
+        wall: breval_obs::span_wall_ms(span),
+    }
+}
+
+impl Probe {
+    fn finish(self, stage: &'static str) -> ScaleStage {
+        ScaleStage {
+            stage,
+            wall_ms: breval_obs::span_wall_ms(self.span) - self.wall,
+            allocations: counting_alloc::allocation_count() - self.allocations,
+            allocated_bytes: counting_alloc::allocated_bytes() - self.bytes,
+        }
+    }
+}
+
+/// Aborts with a labelled error instead of panicking (bench binaries are
+/// deepcheck entry points, so their failure path must be panic-free).
+fn die(msg: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("scalebench: {msg}");
+    std::process::exit(1);
+}
+
+/// The process peak resident set (`VmHWM`) in kiB, from
+/// `/proc/self/status`. 0 when the field is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Evenly spaced node ids over `0..n` — the sampled origin set.
+fn sample_origins(n: usize, count: usize) -> Vec<u32> {
+    let count = count.min(n).max(1);
+    (0..count)
+        .map(|i| ((i as u64 * n as u64) / count as u64) as u32)
+        .collect()
+}
+
+fn run_tier(tier: &'static str, target: usize, origin_sample: usize, measured: bool) -> ScaleTier {
+    eprintln!("scalebench: tier {tier} — generating {target} ASes (seed {SEED})…");
+
+    // --- generate: streaming topogen --------------------------------------
+    let p = probe("scalebench_generate");
+    let topology = {
+        let _s = breval_obs::span!("scalebench_generate");
+        topogen::generate(&topogen::TopologyConfig::scaled(target, SEED))
+    };
+    let generate = p.finish("generate");
+    let as_count = topology.as_count();
+    let link_count = topology.link_count();
+    eprintln!(
+        "scalebench: tier {tier} — {as_count} ASes / {link_count} links in {:.0} ms",
+        generate.wall_ms
+    );
+
+    // --- simgraph: dense simulation graph ---------------------------------
+    let p = probe("scalebench_simgraph");
+    let g = {
+        let _s = breval_obs::span!("scalebench_simgraph");
+        SimGraph::build(&topology)
+    };
+    let simgraph = p.finish("simgraph");
+
+    // --- propagate: bounded-memory proof ----------------------------------
+    // One reused routes + scratch pair across every sampled origin. The
+    // first origin pays the buffer growth to `g.len()`; the rest must run
+    // (near-)allocation-free — that split is the evidence that propagation
+    // memory is bounded by the graph, not the origin count.
+    let origins = sample_origins(g.len(), origin_sample);
+    let Some((&first_origin, rest_origins)) = origins.split_first() else {
+        die(format_args!("tier {tier} sampled no origins"));
+    };
+    let p = probe("scalebench_propagate");
+    let (first_allocs, steady_allocs, reached_total) = {
+        let _s = breval_obs::span!("scalebench_propagate");
+        let prop = Propagator::new(&g);
+        let mut routes = OriginRoutes::reusable();
+        let mut scratch = PropScratch::new();
+        let mut reached = 0u64;
+
+        let before_first = counting_alloc::allocation_count();
+        prop.propagate_into(first_origin, None, &mut routes, &mut scratch);
+        reached += routes.reached() as u64;
+        let after_first = counting_alloc::allocation_count();
+
+        for &origin in rest_origins {
+            prop.propagate_into(origin, None, &mut routes, &mut scratch);
+            reached += routes.reached() as u64;
+        }
+        let after_rest = counting_alloc::allocation_count();
+        (
+            after_first - before_first,
+            after_rest - after_first,
+            reached,
+        )
+    };
+    let propagate = p.finish("propagate");
+    let steady_per_origin = steady_allocs as f64 / (origins.len() - 1).max(1) as f64;
+    eprintln!(
+        "scalebench: tier {tier} — {} origins: first {first_allocs} allocs, steady {steady_per_origin:.1} allocs/origin",
+        origins.len()
+    );
+
+    // --- paths: vantage-point path collection -----------------------------
+    // Re-propagates the same origins and reconstructs each collector peer's
+    // best path — the observed-path substrate the PPDC stage consumes.
+    let vps: Vec<(asgraph::Asn, u32)> = topology
+        .collector_peers
+        .iter()
+        .filter_map(|cp| g.node(cp.asn).map(|node| (cp.asn, node)))
+        .collect();
+    let p = probe("scalebench_paths");
+    let paths = {
+        let _s = breval_obs::span!("scalebench_paths");
+        let prop = Propagator::new(&g);
+        let mut routes = OriginRoutes::reusable();
+        let mut scratch = PropScratch::new();
+        let mut ps = PathSet::new();
+        for &origin in &origins {
+            prop.propagate_into(origin, None, &mut routes, &mut scratch);
+            for &(vp_asn, vp_node) in &vps {
+                if let Some(hops) = routes.path(vp_node, &g) {
+                    ps.push(vp_asn, AsPath::new(hops));
+                }
+            }
+        }
+        ps.sanitized()
+    };
+    let paths_stage = p.finish("paths");
+    eprintln!(
+        "scalebench: tier {tier} — {} VP paths from {} vantage points",
+        paths.len(),
+        vps.len()
+    );
+
+    // --- ppdc: hybrid compressed cones ------------------------------------
+    let rels: BTreeMap<Link, Rel> = topology.links.iter().map(|(l, r)| (*l, r.base)).collect();
+    let p = probe("scalebench_ppdc");
+    let ppdc = {
+        let _s = breval_obs::span!("scalebench_ppdc");
+        cone::ppdc_cones(&paths, &rels)
+    };
+    let ppdc_stage = p.finish("ppdc");
+    let stats = ppdc.storage_stats();
+    let footprint = PpdcFootprint {
+        sparse_rows: stats.sparse_rows,
+        dense_rows: stats.dense_rows,
+        hybrid_bytes: stats.hybrid_bytes,
+        flat_bytes: stats.flat_bytes,
+        compression_ratio: stats.flat_bytes as f64 / stats.hybrid_bytes.max(1) as f64,
+    };
+    eprintln!(
+        "scalebench: tier {tier} — PPDC {} sparse / {} dense rows, {} B hybrid vs {} B flat ({:.1}×)",
+        footprint.sparse_rows,
+        footprint.dense_rows,
+        footprint.hybrid_bytes,
+        footprint.flat_bytes,
+        footprint.compression_ratio,
+    );
+
+    let rss = peak_rss_kb();
+    eprintln!("scalebench: tier {tier} — peak RSS {rss} kB");
+
+    ScaleTier {
+        tier,
+        target_ases: target,
+        as_count,
+        link_count,
+        measured,
+        stages: vec![generate, simgraph, propagate, paths_stage, ppdc_stage],
+        propagation: PropagationProof {
+            origins_sampled: origins.len(),
+            first_origin_allocations: first_allocs,
+            steady_allocations_per_origin: steady_per_origin,
+            reached_total,
+        },
+        ppdc: footprint,
+        peak_rss_kb: rss,
+    }
+}
+
+fn main() {
+    if std::env::var(breval_obs::ENV_VAR).is_err() {
+        breval_obs::set_enabled(true);
+    }
+    // Single-threaded so allocation counts are deterministic and the walls
+    // are honest on the 1-core CI runner.
+    breval_par::set_max_threads(Some(1));
+
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if let Some(bad) = std::env::args()
+        .skip(1)
+        .find(|a| a != "--smoke" && !a.is_empty())
+    {
+        die(format_args!("unknown argument {bad:?} (expected --smoke)"));
+    }
+
+    // (tier, target ASes, sampled origins, measured). The 1M origin sample
+    // is small on purpose: the tier demonstrates memory-boundedness, it is
+    // not a wall-clock comparison point.
+    let tiers: &[(&'static str, usize, usize, bool)] = if smoke {
+        &[("10k", 10_000, 64, true)]
+    } else {
+        &[
+            ("10k", 10_000, 64, true),
+            ("100k", 100_000, 32, true),
+            ("1m", 1_000_000, 8, false),
+        ]
+    };
+
+    let results: Vec<ScaleTier> = tiers
+        .iter()
+        .map(|&(tier, target, origins, measured)| run_tier(tier, target, origins, measured))
+        .collect();
+
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bench = BenchScale {
+        name: "scalebench".to_owned(),
+        seed: SEED,
+        threads: 1,
+        hardware_threads,
+        exceeds_hardware: 1 > hardware_threads,
+        smoke,
+        tiers: results,
+    };
+    let json = match serde_json::to_string_pretty(&bench) {
+        Ok(json) => json,
+        Err(e) => die(format_args!("cannot serialize BENCH_scale.json: {e}")),
+    };
+    let bench_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_scale.json");
+    if let Err(e) = std::fs::write(&bench_path, &json) {
+        die(format_args!("cannot write {}: {e}", bench_path.display()));
+    }
+    eprintln!("scalebench: wrote {}", bench_path.display());
+}

@@ -35,6 +35,8 @@ pub mod snapshot;
 
 pub use collector::{establish_sessions, EstablishedSession};
 pub use lg::{LgRoute, LookingGlass};
-pub use propagate::{OriginRoutes, Propagator, RouteClass};
+pub use propagate::{OriginRoutes, PropScratch, Propagator, RouteClass};
 pub use simgraph::SimGraph;
-pub use snapshot::{simulate, RibSnapshot, RouteObservation};
+pub use snapshot::{
+    simulate, simulate_streaming, simulate_with_graph, RibSnapshot, RouteObservation,
+};

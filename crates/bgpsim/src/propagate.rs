@@ -46,6 +46,36 @@ pub struct OriginRoutes {
 }
 
 impl OriginRoutes {
+    /// An empty result buffer for [`Propagator::propagate_into`]; holds no
+    /// routes until a propagation fills it. Reusing one buffer across origins
+    /// keeps per-origin propagation allocation-free in steady state.
+    #[must_use]
+    pub fn reusable() -> Self {
+        OriginRoutes {
+            origin: 0,
+            class: Vec::new(),
+            len: Vec::new(),
+            parent: Vec::new(),
+            scoped: Vec::new(),
+            prepended: Vec::new(),
+        }
+    }
+
+    /// Re-initialises for a fresh origin, keeping the allocations.
+    fn reset(&mut self, origin: u32, n: usize) {
+        self.origin = origin;
+        self.class.clear();
+        self.class.resize(n, CLASS_NONE);
+        self.len.clear();
+        self.len.resize(n, u16::MAX);
+        self.parent.clear();
+        self.parent.resize(n, NO_PARENT);
+        self.scoped.clear();
+        self.scoped.resize(n, false);
+        self.prepended.clear();
+        self.prepended.resize(n, false);
+    }
+
     /// The origin node id.
     #[must_use]
     pub fn origin(&self) -> u32 {
@@ -155,6 +185,64 @@ impl BucketQueue {
         }
         None
     }
+
+    /// Empties the queue while keeping every bucket's capacity.
+    fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+    }
+}
+
+/// Reusable per-worker propagation scratch: the bucket queue and the
+/// settled-node stamps survive across origins, so steady-state propagation
+/// performs no per-origin allocation. The settled set uses the epoch trick
+/// (cf. `ConeScratch` in `asgraph`): bumping the epoch invalidates the whole
+/// array in O(1) instead of an O(n) clear per Dijkstra pass.
+pub struct PropScratch {
+    q: BucketQueue,
+    done: Vec<u32>,
+    epoch: u32,
+}
+
+impl PropScratch {
+    /// A fresh scratch; grows lazily to the graph size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        PropScratch {
+            q: BucketQueue::new(),
+            done: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new Dijkstra pass: empty queue, nothing settled.
+    fn begin_pass(&mut self, n: usize) {
+        if self.done.len() < n {
+            self.done.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.done.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.q.reset();
+    }
+
+    fn is_done(&self, node: usize) -> bool {
+        self.done[node] == self.epoch
+    }
+
+    fn mark_done(&mut self, node: usize) {
+        self.done[node] = self.epoch;
+    }
+}
+
+impl Default for PropScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// The propagation engine; borrow once, run per origin.
@@ -182,15 +270,27 @@ impl<'g> Propagator<'g> {
     /// unaffected — only the origin's own provider announcements are scoped.
     #[must_use]
     pub fn propagate_masked(&self, origin: u32, allowed_provider: Option<u32>) -> OriginRoutes {
+        let mut r = OriginRoutes::reusable();
+        let mut s = PropScratch::new();
+        self.propagate_into(origin, allowed_provider, &mut r, &mut s);
+        r
+    }
+
+    /// Bounded-memory form of [`Propagator::propagate_masked`]: fills `r` in
+    /// place, using `s` for the queue and settled set. A worker that reuses
+    /// one `(OriginRoutes, PropScratch)` pair across a whole origin stream
+    /// allocates nothing per origin once the buffers have grown to the graph
+    /// size. The result is identical to the allocating form — same scans,
+    /// same relaxation order.
+    pub fn propagate_into(
+        &self,
+        origin: u32,
+        allowed_provider: Option<u32>,
+        r: &mut OriginRoutes,
+        s: &mut PropScratch,
+    ) {
         let n = self.g.len();
-        let mut r = OriginRoutes {
-            origin,
-            class: vec![CLASS_NONE; n],
-            len: vec![u16::MAX; n],
-            parent: vec![NO_PARENT; n],
-            scoped: vec![false; n],
-            prepended: vec![false; n],
-        };
+        r.reset(origin, n);
         let g = self.g;
 
         // `better`: does candidate (len, parent) beat node's stored route of
@@ -208,21 +308,20 @@ impl<'g> Propagator<'g> {
         r.class[origin as usize] = 0;
         r.len[origin as usize] = 0;
         r.parent[origin as usize] = NO_PARENT;
-        let mut q = BucketQueue::new();
-        let mut done = vec![false; n];
-        q.push(Candidate {
+        s.begin_pass(n);
+        s.q.push(Candidate {
             node: origin,
             len: 0,
             parent: NO_PARENT,
             scoped: false,
             prepended: false,
         });
-        while let Some(c) = q.pop() {
+        while let Some(c) = s.q.pop() {
             let i = c.node as usize;
-            if done[i] || r.len[i] != c.len || r.parent[i] != c.parent {
+            if s.is_done(i) || r.len[i] != c.len || r.parent[i] != c.parent {
                 continue; // stale entry
             }
-            done[i] = true;
+            s.mark_done(i);
             if r.scoped[i] {
                 continue; // scoped routes never propagate upward
             }
@@ -237,10 +336,10 @@ impl<'g> Propagator<'g> {
                     }
                 }
                 let cand_len = c.len.saturating_add(weight);
-                if r.class[provider as usize] == 0 && !better(&r, provider, cand_len, c.node) {
+                if r.class[provider as usize] == 0 && !better(r, provider, cand_len, c.node) {
                     continue;
                 }
-                if r.class[provider as usize] == 0 && done[provider as usize] {
+                if r.class[provider as usize] == 0 && s.is_done(provider as usize) {
                     continue;
                 }
                 r.class[provider as usize] = 0;
@@ -248,7 +347,7 @@ impl<'g> Propagator<'g> {
                 r.parent[provider as usize] = c.node;
                 r.scoped[provider as usize] = partial;
                 r.prepended[provider as usize] = prepend;
-                q.push(Candidate {
+                s.q.push(Candidate {
                     node: provider,
                     len: cand_len,
                     parent: c.node,
@@ -261,7 +360,7 @@ impl<'g> Propagator<'g> {
             for &sib in g.siblings(c.node) {
                 let cand_len = c.len.saturating_add(1);
                 if r.class[sib as usize] == 0
-                    && (done[sib as usize] || !better(&r, sib, cand_len, c.node))
+                    && (s.is_done(sib as usize) || !better(r, sib, cand_len, c.node))
                 {
                     continue;
                 }
@@ -270,7 +369,7 @@ impl<'g> Propagator<'g> {
                 r.parent[sib as usize] = c.node;
                 r.scoped[sib as usize] = c.scoped;
                 r.prepended[sib as usize] = false;
-                q.push(Candidate {
+                s.q.push(Candidate {
                     node: sib,
                     len: cand_len,
                     parent: c.node,
@@ -281,17 +380,17 @@ impl<'g> Propagator<'g> {
         }
 
         // ---- Phase 2: one peer hop -------------------------------------------
-        // Holders of unscoped customer-class routes export to peers. A
-        // TE-pinned announcement is scoped to the chosen provider: the origin
-        // itself does not announce it to its peers.
-        let holders: Vec<u32> = (0..n as u32)
-            .filter(|&i| {
-                r.class[i as usize] == 0
-                    && !r.scoped[i as usize]
-                    && !(i == origin && allowed_provider.is_some())
-            })
-            .collect();
-        for &u in &holders {
+        // Holders of unscoped customer-class routes export to peers, in
+        // ascending node order. A TE-pinned announcement is scoped to the
+        // chosen provider: the origin itself does not announce it to its
+        // peers.
+        for u in 0..n as u32 {
+            let holds = r.class[u as usize] == 0
+                && !r.scoped[u as usize]
+                && !(u == origin && allowed_provider.is_some());
+            if !holds {
+                continue;
+            }
             let prepend = g.prepends(u);
             let weight: u16 = if prepend { 3 } else { 1 };
             let cand_len = r.len[u as usize].saturating_add(weight);
@@ -300,7 +399,7 @@ impl<'g> Propagator<'g> {
                 match r.class[vi] {
                     0 => {} // customer route is strictly better
                     1 => {
-                        if better(&r, v, cand_len, u) {
+                        if better(r, v, cand_len, u) {
                             r.len[vi] = cand_len;
                             r.parent[vi] = u;
                             r.prepended[vi] = prepend;
@@ -318,11 +417,10 @@ impl<'g> Propagator<'g> {
         }
 
         // ---- Phase 3: flood down customer cones -------------------------------
-        let mut q = BucketQueue::new();
-        let mut done = vec![false; n];
+        s.begin_pass(n);
         for i in 0..n as u32 {
             if r.class[i as usize] != CLASS_NONE {
-                q.push(Candidate {
+                s.q.push(Candidate {
                     node: i,
                     len: r.len[i as usize],
                     parent: r.parent[i as usize],
@@ -331,19 +429,19 @@ impl<'g> Propagator<'g> {
                 });
             }
         }
-        while let Some(c) = q.pop() {
+        while let Some(c) = s.q.pop() {
             let i = c.node as usize;
-            if done[i] || r.len[i] != c.len || r.parent[i] != c.parent {
+            if s.is_done(i) || r.len[i] != c.len || r.parent[i] != c.parent {
                 continue;
             }
-            done[i] = true;
+            s.mark_done(i);
             let cand_len = c.len.saturating_add(1);
             for &(customer, _) in g.customers(c.node) {
                 let ci = customer as usize;
                 // Adopt only if no better-class route exists.
                 let adopt = match r.class[ci] {
                     CLASS_NONE => true,
-                    2 => !done[ci] && better(&r, customer, cand_len, c.node),
+                    2 => !s.is_done(ci) && better(r, customer, cand_len, c.node),
                     _ => false,
                 };
                 if adopt {
@@ -352,7 +450,7 @@ impl<'g> Propagator<'g> {
                     r.parent[ci] = c.node;
                     r.scoped[ci] = false;
                     r.prepended[ci] = false;
-                    q.push(Candidate {
+                    s.q.push(Candidate {
                         node: customer,
                         len: cand_len,
                         parent: c.node,
@@ -365,7 +463,7 @@ impl<'g> Propagator<'g> {
                 let si = sib as usize;
                 let adopt = match r.class[si] {
                     CLASS_NONE => true,
-                    2 => !done[si] && better(&r, sib, cand_len, c.node),
+                    2 => !s.is_done(si) && better(r, sib, cand_len, c.node),
                     _ => false,
                 };
                 if adopt {
@@ -374,7 +472,7 @@ impl<'g> Propagator<'g> {
                     r.parent[si] = c.node;
                     r.scoped[si] = false;
                     r.prepended[si] = false;
-                    q.push(Candidate {
+                    s.q.push(Candidate {
                         node: sib,
                         len: cand_len,
                         parent: c.node,
@@ -384,8 +482,6 @@ impl<'g> Propagator<'g> {
                 }
             }
         }
-
-        r
     }
 }
 
@@ -420,6 +516,29 @@ mod tests {
             "only {reached}/{} reached",
             g.len()
         );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_allocation() {
+        let (_, g) = small_world();
+        let engine = Propagator::new(&g);
+        let mut routes = OriginRoutes::reusable();
+        let mut scratch = PropScratch::new();
+        // Reuse one buffer pair across many origins (including TE masks) and
+        // compare against the allocating path every time.
+        for origin in (0..g.len() as u32).step_by(41) {
+            let mask = g.providers(origin).first().map(|(p, _)| *p);
+            for m in [None, mask] {
+                engine.propagate_into(origin, m, &mut routes, &mut scratch);
+                let fresh = engine.propagate_masked(origin, m);
+                assert_eq!(routes.reached(), fresh.reached(), "origin {origin}");
+                for node in 0..g.len() as u32 {
+                    assert_eq!(routes.class(node), fresh.class(node));
+                    assert_eq!(routes.path_len(node), fresh.path_len(node));
+                    assert_eq!(routes.path(node, &g), fresh.path(node, &g));
+                }
+            }
+        }
     }
 
     #[test]

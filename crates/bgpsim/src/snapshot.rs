@@ -2,7 +2,7 @@
 //! point exports to the collector, and serialise to real MRT bytes.
 
 use crate::communities::{collector_communities, AnyCommunity};
-use crate::propagate::{Propagator, RouteClass};
+use crate::propagate::{OriginRoutes, PropScratch, Propagator, RouteClass};
 use crate::simgraph::SimGraph;
 use asgraph::{asn::AS_TRANS, AsPath, Asn, PathSet};
 use bgpwire::{
@@ -48,15 +48,41 @@ pub fn simulate(topology: &Topology) -> RibSnapshot {
     simulate_with_graph(topology, &graph)
 }
 
+/// Origins per streaming chunk: peak intermediate memory is one chunk's
+/// observation lists instead of the whole world's, while each dispatch still
+/// keeps the work-stealing pool saturated.
+const ORIGIN_CHUNK: usize = 2048;
+
 /// [`simulate`] reusing a pre-built graph.
 ///
-/// Per-origin propagation cost is wildly skewed (Tier-1s reach everywhere,
-/// stubs almost nowhere), so origins are distributed over a work-stealing
-/// queue (`breval-par`) instead of static chunks; each worker reuses one
-/// scratch [`Propagator`]. Results are assembled in origin order, so the
-/// observation list is byte-identical at any thread count.
+/// Collects the streamed chunks of [`simulate_streaming`] into one
+/// [`RibSnapshot`]; use the streaming form directly when the observation list
+/// need not be resident (per-chunk MRT writing, counting at scale).
 #[must_use]
 pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot {
+    let mut observations: Vec<RouteObservation> = Vec::new();
+    simulate_streaming(topology, graph, |chunk| observations.extend(chunk));
+    RibSnapshot {
+        observations,
+        collector_peers: topology.collector_peers.clone(),
+    }
+}
+
+/// Runs the simulation and drains each origin's observations to `sink` in
+/// origin order, one chunk of [`ORIGIN_CHUNK`] origins at a time.
+///
+/// Per-origin propagation cost is wildly skewed (Tier-1s reach everywhere,
+/// stubs almost nowhere), so origins within a chunk are distributed over a
+/// work-stealing queue (`breval-par`); each worker reuses one
+/// [`Propagator`] plus a `(OriginRoutes, PropScratch)` buffer pair, so
+/// steady-state propagation allocates only the observations themselves.
+/// The concatenation of all sunk chunks is byte-identical to the batch
+/// result at any thread count (and to the pre-streaming simulator —
+/// `tests/byteident.rs` pins the digest).
+pub fn simulate_streaming<F>(topology: &Topology, graph: &SimGraph, mut sink: F)
+where
+    F: FnMut(Vec<RouteObservation>),
+{
     let _span = breval_obs::span!("simulate");
     let vps: Vec<(u32, topogen::CollectorPeer)> = topology
         .collector_peers
@@ -67,72 +93,90 @@ pub fn simulate_with_graph(topology: &Topology, graph: &SimGraph) -> RibSnapshot
     // Sub-span around the parallel fan-out so the trace/manifest separate
     // the per-origin export from the sequential graph/VP setup above.
     let _export = breval_obs::span!("simulate_export");
-    let per_origin: Vec<Vec<RouteObservation>> = breval_par::parallel_map_init(
-        graph.len(),
-        || Propagator::new(graph),
-        |engine, origin_idx| {
-            let origin = origin_idx as u32;
-            let asn = graph.asn(origin);
-            let Some(info) = topology.info(asn) else {
-                return Vec::new();
-            };
-            let mut out = Vec::new();
-            // Group this origin's prefixes by their TE mask so each
-            // distinct announcement scope propagates once.
-            let providers = graph.providers(origin);
-            let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> = Vec::new();
-            for (i, prefix) in info.prefixes.iter().enumerate() {
-                let mask = info
-                    .prefix_te
-                    .get(i)
-                    .copied()
-                    .flatten()
-                    .filter(|_| !providers.is_empty())
-                    .map(|k| providers[usize::from(k) % providers.len()].0);
-                match by_mask.iter_mut().find(|(m, _)| *m == mask) {
-                    Some((_, list)) => list.push(*prefix),
-                    None => by_mask.push((mask, vec![*prefix])),
-                }
-            }
-            if by_mask.is_empty() {
-                by_mask.push((None, Vec::new()));
-            }
-            for (mask, prefixes) in by_mask {
-                let routes = engine.propagate_masked(origin, mask);
-                for (vp_node, cp) in &vps {
-                    let Some(class) = routes.class(*vp_node) else {
-                        continue;
-                    };
-                    // Partial feeds export customer routes only.
-                    if !cp.full_feed && class != RouteClass::Customer {
-                        continue;
+    let mut total: u64 = 0;
+    let mut start = 0usize;
+    while start < graph.len() {
+        let end = (start + ORIGIN_CHUNK).min(graph.len());
+        let per_origin: Vec<Vec<RouteObservation>> = breval_par::parallel_map_init(
+            end - start,
+            || {
+                (
+                    Propagator::new(graph),
+                    OriginRoutes::reusable(),
+                    PropScratch::new(),
+                )
+            },
+            |(engine, routes, scratch), chunk_idx| {
+                let origin = (start + chunk_idx) as u32;
+                let asn = graph.asn(origin);
+                let Some(info) = topology.info(asn) else {
+                    return Vec::new();
+                };
+                let mut out = Vec::new();
+                // Group this origin's prefixes by their TE mask so each
+                // distinct announcement scope propagates once.
+                let providers = graph.providers(origin);
+                let mut by_mask: Vec<(Option<u32>, Vec<bgpwire::Ipv4Prefix>)> = Vec::new();
+                for (i, prefix) in info.prefixes.iter().enumerate() {
+                    let mask = info
+                        .prefix_te
+                        .get(i)
+                        .copied()
+                        .flatten()
+                        .filter(|_| !providers.is_empty())
+                        .map(|k| providers[usize::from(k) % providers.len()].0);
+                    match by_mask.iter_mut().find(|(m, _)| *m == mask) {
+                        Some((_, list)) => list.push(*prefix),
+                        None => by_mask.push((mask, vec![*prefix])),
                     }
-                    if let Some(path) = routes.path(*vp_node, graph) {
-                        for prefix in &prefixes {
-                            out.push(RouteObservation {
-                                vp: cp.asn,
-                                origin: asn,
-                                prefix: *prefix,
-                                path: path.clone(),
-                                class,
-                            });
+                }
+                if by_mask.is_empty() {
+                    by_mask.push((None, Vec::new()));
+                }
+                for (mask, prefixes) in by_mask {
+                    engine.propagate_into(origin, mask, routes, scratch);
+                    for (vp_node, cp) in &vps {
+                        let Some(class) = routes.class(*vp_node) else {
+                            continue;
+                        };
+                        // Partial feeds export customer routes only.
+                        if !cp.full_feed && class != RouteClass::Customer {
+                            continue;
+                        }
+                        if let Some(path) = routes.path(*vp_node, graph) {
+                            for prefix in &prefixes {
+                                out.push(RouteObservation {
+                                    vp: cp.asn,
+                                    origin: asn,
+                                    prefix: *prefix,
+                                    path: path.clone(),
+                                    class,
+                                });
+                            }
                         }
                     }
                 }
-            }
-            out
-        },
-    );
-
-    let observations: Vec<RouteObservation> = per_origin.into_iter().flatten().collect();
-    breval_obs::counter("route_observations", observations.len() as u64);
-    RibSnapshot {
-        observations,
-        collector_peers: topology.collector_peers.clone(),
+                out
+            },
+        );
+        for obs in per_origin {
+            total += obs.len() as u64;
+            sink(obs);
+        }
+        start = end;
     }
+    breval_obs::counter("route_observations", total);
 }
 
 impl RibSnapshot {
+    /// FNV-1a 64 digest of every observation (order-sensitive) plus the
+    /// collector-peer list. Pins the streaming per-chunk export to the
+    /// historical batch output in regression tests.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        topogen::debug_digest(&(&self.observations, &self.collector_peers))
+    }
+
     /// Converts to the [`PathSet`] consumed by inference algorithms.
     ///
     /// With `legacy_as4: false` (the default pipeline), paths carry true
@@ -318,6 +362,22 @@ mod tests {
         let a = simulate(&topo);
         let b = simulate(&topo);
         assert_eq!(a.observations, b.observations);
+    }
+
+    #[test]
+    fn streaming_chunks_concatenate_to_batch_result() {
+        let topo = topogen::generate(&TopologyConfig::small(9));
+        let graph = SimGraph::build(&topo);
+        let batch = simulate_with_graph(&topo, &graph);
+        let mut streamed: Vec<RouteObservation> = Vec::new();
+        let mut chunks = 0usize;
+        simulate_streaming(&topo, &graph, |chunk| {
+            chunks += 1;
+            streamed.extend(chunk);
+        });
+        assert_eq!(streamed, batch.observations);
+        // One sink call per origin (chunks are drained origin-by-origin).
+        assert_eq!(chunks, graph.len());
     }
 
     #[test]

@@ -1,0 +1,18 @@
+//! Byte-identity regression snapshot for the streaming RIB export.
+//!
+//! Captured from the pre-streaming (whole-world `Vec` accumulating)
+//! simulator. The chunked per-origin drain must reproduce the identical
+//! observation list — same routes, same order — at this seed. A digest
+//! change means simulation output changed for existing users.
+
+use topogen::{generate, TopologyConfig};
+
+/// Captured from the pre-streaming simulator; see module docs.
+const SMALL_16_RIB: u64 = 0xb36c_2a56_3e1b_afc9;
+
+#[test]
+fn small_seed_16_rib_is_byte_identical() {
+    let topo = generate(&TopologyConfig::small(16));
+    let snap = bgpsim::simulate(&topo);
+    assert_eq!(snap.digest(), SMALL_16_RIB, "got {:#018x}", snap.digest());
+}

@@ -19,8 +19,11 @@ pub struct ClassCoverage {
     pub coverage: f64,
 }
 
-/// Links per parallel work item. Fixed (not derived from the thread
-/// count) so the chunk boundaries are identical at any thread count.
+/// Base links per parallel work item. The effective chunk is
+/// `breval_par::input_scaled_chunk(len, LINK_CHUNK)` — a function of the
+/// link count only (never the thread count), so the chunk boundaries are
+/// identical at any thread count while the per-chunk maps stay bounded at
+/// million-link scale.
 const LINK_CHUNK: usize = 512;
 
 /// Computes per-class shares and coverage.
@@ -72,10 +75,11 @@ where
 {
     let _span = breval_obs::span!("coverage_by_class");
     let links: Vec<Link> = inferred.iter().copied().collect();
-    let chunks = links.len().div_ceil(LINK_CHUNK);
+    let link_chunk = breval_par::input_scaled_chunk(links.len(), LINK_CHUNK);
+    let chunks = links.len().div_ceil(link_chunk);
     let partials = breval_par::parallel_map(chunks, |c| {
-        let lo = c * LINK_CHUNK;
-        let hi = (lo + LINK_CHUNK).min(links.len());
+        let lo = c * link_chunk;
+        let hi = (lo + link_chunk).min(links.len());
         let mut per_class: BTreeMap<C, (usize, usize)> = BTreeMap::new();
         let mut classified = 0usize;
         for link in &links[lo..hi] {

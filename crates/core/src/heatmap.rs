@@ -82,8 +82,11 @@ pub struct Heatmap {
     pub links: usize,
 }
 
-/// Links per parallel work item in [`Heatmap::build`]. Fixed (not derived
-/// from the thread count) so chunk boundaries are thread-count invariant.
+/// Base links per parallel work item in [`Heatmap::build`]. The effective
+/// chunk is `breval_par::input_scaled_chunk(len, LINK_CHUNK)` — a function
+/// of the link count only (never the thread count), so chunk boundaries are
+/// thread-count invariant while the per-chunk bin buffers stay bounded at
+/// million-link scale.
 const LINK_CHUNK: usize = 512;
 
 impl Heatmap {
@@ -104,12 +107,13 @@ impl Heatmap {
         let _span = breval_obs::span!("heatmap_build");
         let config = config.sanitized();
         let links: Vec<Link> = links.into_iter().copied().collect();
-        let chunks = links.len().div_ceil(LINK_CHUNK);
+        let link_chunk = breval_par::input_scaled_chunk(links.len(), LINK_CHUNK);
+        let chunks = links.len().div_ceil(link_chunk);
         // Per-chunk counts are one flat row-major array (y * x_bins + x)
         // instead of a Vec-of-Vecs: one allocation per chunk.
         let partials = breval_par::parallel_map(chunks, |c| {
-            let lo = c * LINK_CHUNK;
-            let hi = (lo + LINK_CHUNK).min(links.len());
+            let lo = c * link_chunk;
+            let hi = (lo + link_chunk).min(links.len());
             let mut counts = vec![0usize; config.x_bins * config.y_bins];
             for link in &links[lo..hi] {
                 let (ma, mb) = (metric(link.a()), metric(link.b()));
@@ -211,6 +215,30 @@ mod tests {
         assert!((sum - 1.0).abs() < 1e-12);
         // link(5, 100): larger=100 clamps to last column, smaller=5 → bin 0.
         assert!(hm.cells[0][3] > 0.0);
+    }
+
+    #[test]
+    fn scaled_chunks_stay_thread_invariant_past_the_base() {
+        // Enough links that `input_scaled_chunk` grows past the 512 base
+        // (140k / 256 = 546): the scaled chunking must still bin exactly
+        // like the 1-thread run — the chunk size is a function of the input
+        // length only, so boundaries cannot move with the thread count.
+        let cfg = HeatmapConfig {
+            x_bins: 7,
+            y_bins: 5,
+            x_max: 5_000,
+            y_max: 900,
+        };
+        let links: Vec<Link> = (0..140_000u32)
+            .map(|i| link(i * 2 + 1, i * 2 + 2))
+            .collect();
+        let metric = |a: Asn| (a.0 as usize).wrapping_mul(37) % 7_001;
+        let one =
+            breval_par::with_thread_cap(Some(1), || Heatmap::build(links.iter(), metric, cfg));
+        let four =
+            breval_par::with_thread_cap(Some(4), || Heatmap::build(links.iter(), metric, cfg));
+        assert_eq!(one, four);
+        assert_eq!(one.links, 140_000);
     }
 
     #[test]

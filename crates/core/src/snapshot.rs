@@ -14,13 +14,13 @@
 //!
 //! ```text
 //! "BREVSNAP"  magic                 8 bytes
-//! version     u32                   schema version (currently 1)
+//! version     u32                   schema version (currently 2)
 //! config_hash u64                   FNV-1a over the scenario config JSON
 //! seed        u64                   topology seed (redundant, human-facing)
 //! name        str                   classifier name ("asrank", …)
 //! csr         CsrGraph              indexer + 4 × (offsets, targets)
 //! cones       ConeSizes             indexer + u64 sizes
-//! ppdc        PpdcCones             indexer + present row ids + row words
+//! ppdc        PpdcCones             indexer + hybrid rows (sparse id lists + dense bitsets)
 //! scored      u32[6k]               k × (a, b, val_tag, val_prov, inf_tag, inf_prov)
 //! ```
 //!
@@ -41,8 +41,11 @@ use std::sync::{Arc, OnceLock};
 
 /// Leading magic of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"BREVSNAP";
-/// On-disk schema version this build writes and accepts.
-pub const VERSION: u32 = 1;
+/// On-disk schema version this build writes and accepts. Version 2 switched
+/// the PPDC section to the hybrid sparse/dense row layout; version-1 files
+/// (flat bitset rows only) are rejected and must be rebuilt from scratch —
+/// a cold rebuild, never a silent misparse.
+pub const VERSION: u32 = 2;
 
 /// Why a snapshot could not be saved or loaded.
 #[derive(Debug)]
@@ -531,6 +534,15 @@ mod tests {
         assert!(matches!(
             ScenarioSnapshot::from_bytes(&bad),
             Err(SnapshotError::Codec(IoError::BadVersion { found: 99 }))
+        ));
+        // A pre-hybrid version-1 file is rejected up front — its PPDC bytes
+        // would misparse under the v2 layout, so the version gate must fire
+        // before any section is read.
+        let mut v1 = bytes.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            ScenarioSnapshot::from_bytes(&v1),
+            Err(SnapshotError::Codec(IoError::BadVersion { found: 1 }))
         ));
         // Truncations at every length never panic.
         for cut in 0..bytes.len() {

@@ -180,6 +180,23 @@ pub fn effective_workers(n: usize) -> usize {
     max_threads().min(n).max(1)
 }
 
+/// Ceiling on the chunk count [`input_scaled_chunk`] aims for: beyond it the
+/// per-chunk bookkeeping (one partial result per chunk) starts to dominate.
+const MAX_CHUNKS: usize = 256;
+
+/// Items per chunk for a chunked fan-out over `len` items: `base` (the
+/// caller's tuned granularity) until the input is large enough that `base`
+/// would produce more than [`MAX_CHUNKS`] chunks, then `len / 256` so the
+/// chunk count stays bounded at million-item scale. The result depends on
+/// the input length only — **never** on the thread count — so chunk
+/// boundaries, and with them any order-sensitive merged output, are
+/// byte-identical on 1 thread and 64.
+#[must_use]
+pub fn input_scaled_chunk(len: usize, base: usize) -> usize {
+    debug_assert!(base > 0, "chunk base must be positive");
+    base.max(len / MAX_CHUNKS)
+}
+
 thread_local! {
     /// True while this thread is executing work items of a parallel call —
     /// nested calls detect it and run inline instead of re-submitting.
@@ -760,6 +777,30 @@ mod tests {
             .expect("span recorded");
         assert_eq!(stage.counters.get("paths_sanitized_kept"), Some(&12));
         breval_obs::set_enabled(false);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn input_scaled_chunk_scales_with_length_not_threads() {
+        // Small inputs keep the caller's tuned base untouched, so existing
+        // scales chunk exactly as before the re-tune.
+        assert_eq!(input_scaled_chunk(0, 512), 512);
+        assert_eq!(input_scaled_chunk(10_000, 512), 512);
+        assert_eq!(input_scaled_chunk(512 * MAX_CHUNKS, 512), 512);
+        // Past base*MAX_CHUNKS the chunk grows linearly with the input, so
+        // the chunk count stays bounded by MAX_CHUNKS (+1 for the remainder).
+        let big = 4_000_000;
+        let chunk = input_scaled_chunk(big, 512);
+        assert_eq!(chunk, big / MAX_CHUNKS);
+        assert!(big.div_ceil(chunk) <= MAX_CHUNKS + 1);
+        // The result is a pure function of the length — identical under any
+        // thread cap, which is what keeps chunked output thread-invariant.
+        let _t = locked();
+        for cap in [1, 2, 7] {
+            set_max_threads(Some(cap));
+            assert_eq!(input_scaled_chunk(big, 512), chunk);
+            assert_eq!(input_scaled_chunk(1000, 256), 256);
+        }
         set_max_threads(None);
     }
 }

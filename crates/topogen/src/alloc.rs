@@ -12,7 +12,7 @@ use asregistry::{iana::BlockAuthority, IanaAsnTable, RirRegion};
 use rand::Rng;
 use std::collections::BTreeSet;
 
-/// One region's two allocation pools.
+/// One region's allocation pools.
 #[derive(Debug, Clone, Copy)]
 pub struct RegionPools {
     /// The owning region.
@@ -21,6 +21,10 @@ pub struct RegionPools {
     pub pool16: (u32, u32),
     /// 32-bit pool (inclusive).
     pub pool32: (u32, u32),
+    /// High 32-bit overflow pool (inclusive) for million-AS scale runs.
+    /// Tried strictly *after* the two base pools, so topologies that fit in
+    /// the base pools never draw from it (byte-identity at existing scales).
+    pub pool_ext: (u32, u32),
 }
 
 /// The fixed pool plan (synthetic but shaped like the real registry: ARIN owns
@@ -30,26 +34,31 @@ pub const POOLS: [RegionPools; 5] = [
         region: RirRegion::Afrinic,
         pool16: (36_000, 37_500),
         pool32: (327_680, 329_999),
+        pool_ext: (1_000_000_000, 1_004_999_999),
     },
     RegionPools {
         region: RirRegion::Apnic,
         pool16: (17_001, 24_500),
         pool32: (131_072, 141_000),
+        pool_ext: (1_010_000_000, 1_014_999_999),
     },
     RegionPools {
         region: RirRegion::Arin,
         pool16: (1, 7_000),
         pool32: (390_000, 399_999),
+        pool_ext: (1_020_000_000, 1_024_999_999),
     },
     RegionPools {
         region: RirRegion::Lacnic,
         pool16: (26_000, 28_700),
         pool32: (260_000, 269_999),
+        pool_ext: (1_030_000_000, 1_034_999_999),
     },
     RegionPools {
         region: RirRegion::RipeNcc,
         pool16: (7_001, 16_999),
         pool32: (196_608, 216_000),
+        pool_ext: (1_040_000_000, 1_044_999_999),
     },
 ];
 
@@ -74,6 +83,7 @@ pub fn iana_table() -> IanaAsnTable {
             [
                 (p.pool16.0, p.pool16.1, BlockAuthority::Rir(p.region)),
                 (p.pool32.0, p.pool32.1, BlockAuthority::Rir(p.region)),
+                (p.pool_ext.0, p.pool_ext.1, BlockAuthority::Rir(p.region)),
             ]
         })
         .collect();
@@ -91,9 +101,13 @@ pub fn iana_table() -> IanaAsnTable {
 #[derive(Debug)]
 pub struct AsnAllocator {
     used: BTreeSet<u32>,
-    cursors16: [u32; 5],
-    cursors32: [u32; 5],
+    /// Per-pool-kind, per-region scan cursors (16-bit, 32-bit, extension).
+    cursors: [[u32; 5]; 3],
 }
+
+const KIND_16: usize = 0;
+const KIND_32: usize = 1;
+const KIND_EXT: usize = 2;
 
 impl AsnAllocator {
     /// A fresh allocator; `reserved` ASNs (e.g. the well-known Tier-1 and
@@ -102,8 +116,7 @@ impl AsnAllocator {
     pub fn new(reserved: &[Asn]) -> Self {
         AsnAllocator {
             used: reserved.iter().map(|a| a.0).collect(),
-            cursors16: [0; 5],
-            cursors32: [0; 5],
+            cursors: [[0; 5]; 3],
         }
     }
 
@@ -128,17 +141,24 @@ impl AsnAllocator {
         let pools = pools_for(region);
         let idx = Self::region_idx(region);
         let four_byte = rng.random_bool(four_byte_prob.clamp(0.0, 1.0));
-        let order: [((u32, u32), bool); 2] = if four_byte {
-            [(pools.pool32, false), (pools.pool16, true)]
+        // The extension pool always comes last: a config whose population
+        // fits the base pools allocates identically whether or not the
+        // extension pools exist.
+        let order: [((u32, u32), usize); 3] = if four_byte {
+            [
+                (pools.pool32, KIND_32),
+                (pools.pool16, KIND_16),
+                (pools.pool_ext, KIND_EXT),
+            ]
         } else {
-            [(pools.pool16, true), (pools.pool32, false)]
+            [
+                (pools.pool16, KIND_16),
+                (pools.pool32, KIND_32),
+                (pools.pool_ext, KIND_EXT),
+            ]
         };
-        for ((lo, hi), is16) in order {
-            let cursor = if is16 {
-                &mut self.cursors16[idx]
-            } else {
-                &mut self.cursors32[idx]
-            };
+        for ((lo, hi), kind) in order {
+            let cursor = &mut self.cursors[kind][idx];
             let mut candidate = lo + *cursor;
             while candidate <= hi {
                 *cursor = candidate - lo + 1;
@@ -171,6 +191,8 @@ mod tests {
             assert_eq!(t.initial_region(Asn(p.pool16.0)), Some(p.region));
             assert_eq!(t.initial_region(Asn(p.pool16.1)), Some(p.region));
             assert_eq!(t.initial_region(Asn(p.pool32.0)), Some(p.region));
+            assert_eq!(t.initial_region(Asn(p.pool_ext.0)), Some(p.region));
+            assert_eq!(t.initial_region(Asn(p.pool_ext.1)), Some(p.region));
         }
         // Gap between pools is unassigned.
         assert_eq!(t.initial_region(Asn(25_000)), None);
@@ -216,6 +238,24 @@ mod tests {
         assert!(!a16.is_four_byte());
         let a32 = alloc.allocate(RirRegion::Lacnic, 1.0, &mut rng).unwrap();
         assert!(a32.is_four_byte());
+    }
+
+    #[test]
+    fn extension_pool_is_last_resort() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut alloc = AsnAllocator::new(&[]);
+        // AFRINIC base pools hold 1501 + 2320 ASNs; the 4000th allocation
+        // must land in the extension pool, and everything before it must not.
+        let mut got = Vec::new();
+        for _ in 0..4_000 {
+            got.push(alloc.allocate(RirRegion::Afrinic, 0.0, &mut rng).unwrap());
+        }
+        let ext_lo = pools_for(RirRegion::Afrinic).pool_ext.0;
+        let first_ext = got.iter().position(|a| a.0 >= ext_lo).unwrap();
+        // Base pools minus nothing reserved in them: 1501 + 2320 = 3821.
+        assert_eq!(first_ext, 3_821);
+        assert!(got[first_ext..].iter().all(|a| a.0 >= ext_lo));
+        assert!(got[..first_ext].iter().all(|a| a.0 < ext_lo));
     }
 
     #[test]

@@ -239,6 +239,30 @@ impl TopologyConfig {
         }
     }
 
+    /// A scale-tier configuration with `total` ASes (used by `scalebench` at
+    /// 10k / 100k / 1M). Keeps the default mechanism knobs; only the
+    /// population scales: ~15 % transits, the rest stubs. Per-region ASN
+    /// *extension* pools absorb populations beyond the base registry pools.
+    #[must_use]
+    pub fn scaled(total: usize, seed: u64) -> Self {
+        let n_tier1 = 16;
+        let n_hypergiant = 15;
+        let n_special_stub = 30;
+        let fixed = n_tier1 + n_hypergiant + n_special_stub;
+        let n_transit = (((total.saturating_sub(fixed)) as f64) * 0.15).round() as usize;
+        let n_stub = total.saturating_sub(fixed + n_transit);
+        TopologyConfig {
+            seed,
+            n_tier1,
+            n_transit,
+            n_stub,
+            n_hypergiant,
+            n_special_stub,
+            n_vantage_points: 300,
+            ..TopologyConfig::default()
+        }
+    }
+
     /// Total AS count implied by the population knobs.
     #[must_use]
     pub fn total_ases(&self) -> usize {
@@ -271,5 +295,14 @@ mod tests {
     #[test]
     fn small_config_is_smaller() {
         assert!(TopologyConfig::small(1).total_ases() < TopologyConfig::default().total_ases());
+    }
+
+    #[test]
+    fn scaled_config_hits_requested_total() {
+        for total in [10_000usize, 100_000, 1_000_000] {
+            let c = TopologyConfig::scaled(total, 1);
+            assert_eq!(c.total_ases(), total);
+            assert!(c.n_stub > c.n_transit);
+        }
     }
 }

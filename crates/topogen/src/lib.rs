@@ -29,8 +29,9 @@ pub mod churn;
 pub mod config;
 pub mod generate;
 pub mod model;
+mod picker;
 
 pub use churn::{evolve, evolve_steps, ChurnConfig, ChurnReport};
 pub use config::TopologyConfig;
 pub use generate::generate;
-pub use model::{AsInfo, CollectorPeer, Ixp, SpecialRole, TierClass, Topology};
+pub use model::{debug_digest, AsInfo, CollectorPeer, Ixp, SpecialRole, TierClass, Topology};

@@ -231,4 +231,35 @@ impl Topology {
             .map(|i| i.asn)
             .collect()
     }
+
+    /// FNV-1a 64 digest over the full topology (every AS record, link,
+    /// vantage point, and IXP, via the deterministic `Debug` rendering,
+    /// streamed — no intermediate string). Used by the generator's
+    /// byte-identity regression tests and `scalebench` to pin the streaming
+    /// builder to the historical output at existing seeds and sizes.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        crate::model::debug_digest(self)
+    }
+}
+
+/// Streams `value`'s `Debug` rendering through an FNV-1a 64 hasher — a
+/// byte-identity fingerprint with no intermediate buffer. Downstream crates
+/// (bgpsim, bench) reuse it to pin their own outputs in regression tests.
+#[must_use]
+pub fn debug_digest<T: std::fmt::Debug>(value: &T) -> u64 {
+    struct FnvWriter(u64);
+    impl std::fmt::Write for FnvWriter {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            for b in s.bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Ok(())
+        }
+    }
+    let mut w = FnvWriter(0xCBF2_9CE4_8422_2325);
+    use std::fmt::Write as _;
+    write!(w, "{value:?}").expect("FnvWriter never fails");
+    w.0
 }

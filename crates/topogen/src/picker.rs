@@ -1,0 +1,292 @@
+//! Weighted preferential-attachment pools for the streaming builder.
+//!
+//! The pre-streaming generator cloned its candidate vectors (all transits,
+//! regional transits, regional stubs, …) on **every** provider pick and
+//! recomputed every weight from scratch — O(n) allocation + O(n) powf per
+//! pick, O(n²) over a full run. [`PoolSet`] keeps each candidate pool
+//! resident with cached weights that are updated incrementally as customer
+//! counts grow, so a pick is:
+//!
+//! * **exact path** (pool ≤ [`EXACT_PICK_MAX`]): one RNG draw and a linear
+//!   scan over the *cached* weights. The cached weight is produced by the
+//!   identical `((count + 1) as f64).powf(exp)` expression the old code
+//!   evaluated inline, and the scan folds the same values in the same order,
+//!   so the selected item is bit-for-bit the one the old generator chose —
+//!   every historical seed/size reproduces byte-identically (all pools in
+//!   the default paper-scale config stay far below the threshold).
+//! * **tree path** (larger pools): one RNG draw and an O(log n) descend of a
+//!   Fenwick prefix-sum tree. Floating-point summation order differs from
+//!   the linear fold, so this path is reserved for the new large-scale
+//!   regime where no historical baseline exists.
+//!
+//! Both paths consume exactly one `f64` draw per pick (and none for an empty
+//! pool), so the generator's RNG stream is independent of which path runs.
+
+use asgraph::Asn;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Largest pool the exact (historical, linear-scan) pick still covers.
+/// Every pool reachable by the shipped configs (`default` ≈ 1.7k transits,
+/// `small` ≈ 220) is far below this; only new `scaled` configs exceed it.
+pub(crate) const EXACT_PICK_MAX: usize = 16_384;
+
+/// One weighted candidate pool.
+struct WeightedPool {
+    items: Vec<Asn>,
+    weights: Vec<f64>,
+    /// 1-indexed Fenwick tree over `weights` (index 0 unused).
+    tree: Vec<f64>,
+    /// Item index per member, for incremental weight updates.
+    pos: BTreeMap<Asn, u32>,
+}
+
+impl WeightedPool {
+    fn new() -> Self {
+        WeightedPool {
+            items: Vec::new(),
+            weights: Vec::new(),
+            tree: vec![0.0],
+            pos: BTreeMap::new(),
+        }
+    }
+
+    /// Prefix sum of weights `1..=i` (tree indexing).
+    fn prefix(&self, mut i: usize) -> f64 {
+        let mut s = 0.0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Adds `delta` at tree position `i`.
+    fn tree_add(&mut self, mut i: usize, delta: f64) {
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn push(&mut self, asn: Asn, weight: f64) {
+        let i = self.items.len() + 1; // tree index of the new item
+        self.items.push(asn);
+        self.weights.push(weight);
+        self.pos.insert(asn, i as u32 - 1);
+        // A fresh tree node covers the range (i - lowbit(i), i]; seed it with
+        // the already-present portion of that range before adding the weight.
+        let covered = self.prefix(i - 1) - self.prefix(i - (i & i.wrapping_neg()));
+        self.tree.push(covered);
+        self.tree_add(i, weight);
+    }
+
+    fn set_weight(&mut self, idx: usize, weight: f64) {
+        let delta = weight - self.weights[idx];
+        self.weights[idx] = weight;
+        self.tree_add(idx + 1, delta);
+    }
+
+    fn pick<R: Rng>(&self, rng: &mut R) -> Option<Asn> {
+        let n = self.items.len();
+        if n == 0 {
+            return None;
+        }
+        if n <= EXACT_PICK_MAX {
+            // Historical algorithm over cached weights: same values, same
+            // order, same fold — bit-identical selection.
+            let total: f64 = self.weights.iter().sum();
+            let mut x = rng.random::<f64>() * total;
+            for (a, w) in self.items.iter().zip(&self.weights) {
+                x -= w;
+                if x <= 0.0 {
+                    return Some(*a);
+                }
+            }
+            return self.items.last().copied();
+        }
+        // Fenwick descend: find the first index whose cumulative weight
+        // exceeds the draw. One draw, O(log n), no allocation.
+        let total = self.prefix(n);
+        let mut rem = rng.random::<f64>() * total;
+        let mut step = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        let mut pos = 0usize;
+        while step > 0 {
+            let next = pos + step;
+            if next <= n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        Some(self.items[pos.min(n - 1)])
+    }
+}
+
+/// The builder's resident candidate pools, addressed by dense pool ids.
+pub(crate) struct PoolSet {
+    pools: Vec<WeightedPool>,
+}
+
+/// Pool id: all transit ASes, in creation order.
+pub(crate) const POOL_ALL_TRANSIT: usize = 0;
+/// Pool id: large (directly-below-clique) transits.
+pub(crate) const POOL_LARGE_TRANSIT: usize = 1;
+
+/// Pool id of the regional transit pool (`ri` indexes `RirRegion::ALL`).
+pub(crate) fn pool_transit_region(ri: usize) -> usize {
+    2 + ri
+}
+
+/// Pool id of the regional stub pool (`ri` indexes `RirRegion::ALL`).
+pub(crate) fn pool_stub_region(ri: usize) -> usize {
+    7 + ri
+}
+
+const POOL_COUNT: usize = 12;
+
+impl PoolSet {
+    pub(crate) fn new() -> Self {
+        PoolSet {
+            pools: (0..POOL_COUNT).map(|_| WeightedPool::new()).collect(),
+        }
+    }
+
+    /// Appends `asn` to `pool` with its current weight.
+    pub(crate) fn push(&mut self, pool: usize, asn: Asn, weight: f64) {
+        self.pools[pool].push(asn, weight);
+    }
+
+    /// Updates `asn`'s cached weight in every pool that contains it.
+    pub(crate) fn set_weight(&mut self, asn: Asn, weight: f64) {
+        for p in &mut self.pools {
+            if let Some(&i) = p.pos.get(&asn) {
+                p.set_weight(i as usize, weight);
+            }
+        }
+    }
+
+    /// Weighted pick from `pool`; `None` (and no RNG draw) when empty.
+    pub(crate) fn pick<R: Rng>(&self, pool: usize, rng: &mut R) -> Option<Asn> {
+        self.pools[pool].pick(rng)
+    }
+
+    pub(crate) fn is_empty(&self, pool: usize) -> bool {
+        self.pools[pool].items.is_empty()
+    }
+
+    /// The pool's members in insertion order.
+    pub(crate) fn items(&self, pool: usize) -> &[Asn] {
+        &self.pools[pool].items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The historical inline algorithm, verbatim.
+    fn old_pick(rng: &mut ChaCha8Rng, items: &[Asn], weights: &[f64]) -> Option<Asn> {
+        if items.is_empty() {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        let mut x = rng.random::<f64>() * total;
+        for (a, w) in items.iter().zip(weights) {
+            x -= w;
+            if x <= 0.0 {
+                return Some(*a);
+            }
+        }
+        items.last().copied()
+    }
+
+    #[test]
+    fn exact_path_matches_historical_algorithm() {
+        let mut pool = WeightedPool::new();
+        let mut weights = Vec::new();
+        let mut items = Vec::new();
+        for i in 0..500u32 {
+            let w = ((i % 17 + 1) as f64).powf(0.6);
+            pool.push(Asn(i + 1), w);
+            items.push(Asn(i + 1));
+            weights.push(w);
+        }
+        let mut a = ChaCha8Rng::seed_from_u64(99);
+        let mut b = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..2_000 {
+            assert_eq!(pool.pick(&mut a), old_pick(&mut b, &items, &weights));
+        }
+    }
+
+    #[test]
+    fn exact_path_matches_after_weight_updates() {
+        let mut pool = WeightedPool::new();
+        for i in 0..200u32 {
+            pool.push(Asn(i + 1), 1.0f64.powf(0.6));
+        }
+        // Grow some members the way the builder does.
+        let mut weights = vec![1.0f64.powf(0.6); 200];
+        for (count, idx) in [(3usize, 7usize), (10, 7), (40, 199), (2, 0)] {
+            let w = ((count + 1) as f64).powf(0.6);
+            pool.set_weight(idx, w);
+            weights[idx] = w;
+        }
+        let items: Vec<Asn> = (0..200u32).map(|i| Asn(i + 1)).collect();
+        let mut a = ChaCha8Rng::seed_from_u64(4);
+        let mut b = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            assert_eq!(pool.pick(&mut a), old_pick(&mut b, &items, &weights));
+        }
+    }
+
+    #[test]
+    fn tree_path_tracks_weight_distribution() {
+        // Above EXACT_PICK_MAX the Fenwick path runs; check it samples
+        // roughly proportionally (one heavy item among uniform ones).
+        let mut pool = WeightedPool::new();
+        let n = EXACT_PICK_MAX + 100;
+        for i in 0..n as u32 {
+            pool.push(Asn(i + 1), 1.0);
+        }
+        let heavy = Asn(1234);
+        pool.set_weight(1233, (n / 4) as f64);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let hits = (0..20_000)
+            .filter(|_| pool.pick(&mut rng) == Some(heavy))
+            .count();
+        // Expected share ≈ (n/4) / (n - 1 + n/4) ≈ 0.2.
+        assert!((2_000..6_000).contains(&hits), "heavy item drew {hits}");
+    }
+
+    #[test]
+    fn empty_pool_draws_nothing() {
+        let pool = WeightedPool::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(pool.pick(&mut rng), None);
+        let untouched = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(
+            rng.clone().random::<u64>(),
+            untouched.clone().random::<u64>()
+        );
+    }
+
+    #[test]
+    fn fenwick_prefix_sums_survive_interleaved_push_and_update() {
+        let mut pool = WeightedPool::new();
+        for i in 0..1_000u32 {
+            pool.push(Asn(i + 1), f64::from(i % 7 + 1));
+            if i % 3 == 0 {
+                pool.set_weight((i / 2) as usize, f64::from(i % 5 + 1));
+            }
+        }
+        let direct: f64 = pool.weights.iter().sum();
+        assert!((pool.prefix(1_000) - direct).abs() < 1e-6);
+        for probe in [1usize, 2, 63, 64, 65, 511, 999, 1_000] {
+            let direct: f64 = pool.weights[..probe].iter().sum();
+            assert!((pool.prefix(probe) - direct).abs() < 1e-6, "prefix {probe}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Byte-identity regression snapshot for the streaming generator.
+//!
+//! The digests below were captured from the pre-streaming (fully
+//! materialising) builder. The streaming rewrite must reproduce the exact
+//! same topology — every AS record, link, relationship, vantage point and
+//! IXP — at these seeds and sizes. If a digest changes, the generator's
+//! output changed for existing users; that is a bug, not a baseline refresh.
+
+use topogen::{generate, TopologyConfig};
+
+/// Captured from the pre-streaming builder; see module docs.
+const SMALL_42: u64 = 0x5b1b_9a00_a8c6_5629;
+const SMALL_7: u64 = 0xb91e_f879_3dcb_4305;
+const DEFAULT_2018: u64 = 0x3b62_beaf_670e_27e1;
+
+#[test]
+fn small_seed_42_is_byte_identical() {
+    let topo = generate(&TopologyConfig::small(42));
+    assert_eq!(topo.digest(), SMALL_42, "got {:#018x}", topo.digest());
+}
+
+#[test]
+fn small_seed_7_is_byte_identical() {
+    let topo = generate(&TopologyConfig::small(7));
+    assert_eq!(topo.digest(), SMALL_7, "got {:#018x}", topo.digest());
+}
+
+#[test]
+fn default_config_is_byte_identical() {
+    let topo = generate(&TopologyConfig::default());
+    assert_eq!(topo.digest(), DEFAULT_2018, "got {:#018x}", topo.digest());
+}

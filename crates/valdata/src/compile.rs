@@ -27,9 +27,11 @@ fn det_hash(seed: u64, a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Observations per parallel work item in [`compile_communities`]. Fixed
-/// (not derived from the thread count) so the chunk boundaries — and with
-/// them the merged label order — are identical at any thread count.
+/// Base observations per parallel work item in [`compile_communities`]. The
+/// effective chunk is `breval_par::input_scaled_chunk(len, OBS_CHUNK)` — a
+/// function of the observation count only (never the thread count), so the
+/// chunk boundaries — and with them the merged label order — are identical
+/// at any thread count while the chunk count stays bounded at scale.
 const OBS_CHUNK: usize = 256;
 
 /// Shared read-only inputs of the per-observation decoding loop.
@@ -180,14 +182,15 @@ pub fn compile_communities(
         two_byte_vps,
     };
     let observations = &snapshot.observations;
-    let chunks = observations.len().div_ceil(OBS_CHUNK);
+    let obs_chunk = breval_par::input_scaled_chunk(observations.len(), OBS_CHUNK);
+    let chunks = observations.len().div_ceil(obs_chunk);
     {
         // Sub-span around the parallel chunk decode: the trace separates
         // it from the sequential leak/label bookkeeping in this function.
         let _decode = breval_obs::span!("compile_observations");
         let chunk_labels = breval_par::parallel_map(chunks, |c| {
-            let lo = c * OBS_CHUNK;
-            let hi = (lo + OBS_CHUNK).min(observations.len());
+            let lo = c * obs_chunk;
+            let hi = (lo + obs_chunk).min(observations.len());
             let mut out = Vec::new();
             for obs in &observations[lo..hi] {
                 decode_observation(&ctx, obs, &mut out);

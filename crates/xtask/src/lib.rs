@@ -39,4 +39,5 @@ pub mod report;
 pub mod resolve;
 pub mod rules;
 pub mod rules_flow;
+pub mod scalecheck;
 pub mod tokens;

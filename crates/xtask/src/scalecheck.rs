@@ -1,0 +1,263 @@
+//! `scalecheck` — structural floor gate over `BENCH_scale.json`.
+//!
+//! Validates the *10k tier only*: it is the one tier present in both the
+//! CI smoke run (`scalebench --smoke`) and the full three-tier run, so the
+//! gate behaves identically in both configurations. Unlike `obscheck`,
+//! which compares against a committed baseline with tolerance bands, this
+//! gate checks absolute structural floors that hold on any machine:
+//!
+//! * the 10k tier exists, is `measured`, and hit its target AS count;
+//! * every pipeline stage recorded a positive wall (instrumentation was
+//!   not lost);
+//! * steady-state propagation stays under a small per-origin allocation
+//!   ceiling — the bounded-memory property the scale PR exists to keep;
+//! * the hybrid PPDC layout never exceeds the flat bitset footprint it
+//!   replaced, and actually produced rows.
+//!
+//! Wall *times* are deliberately not gated here — `obscheck` owns the
+//! perf-regression tripwire; this gate owns the memory-boundedness and
+//! compression invariants, which are machine-independent.
+
+use crate::json::Json;
+
+/// The five stages every tier must record, in pipeline order.
+const STAGES: [&str; 5] = ["generate", "simgraph", "propagate", "paths", "ppdc"];
+
+/// Absolute floors for [`check`].
+#[derive(Debug, Clone, Copy)]
+pub struct Floors {
+    /// Steady-state propagation must stay at or under this many
+    /// allocations per origin (buffer reuse means the true value is a
+    /// handful of stragglers, not thousands).
+    pub max_steady_allocs_per_origin: f64,
+    /// Minimum origins the propagation proof must have sampled.
+    pub min_origins: f64,
+}
+
+impl Default for Floors {
+    fn default() -> Self {
+        Floors {
+            max_steady_allocs_per_origin: 64.0,
+            min_origins: 8.0,
+        }
+    }
+}
+
+/// Outcome of one `BENCH_scale.json` validation.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Hard failures: the CLI exits 1 when any are present.
+    pub violations: Vec<String>,
+    /// Informational findings (extra tiers, oversubscription note).
+    pub notes: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when no violation was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+fn num(j: Option<&Json>) -> f64 {
+    j.and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+/// Validates `doc` (a parsed `BENCH_scale.json`) against `floors`.
+#[must_use]
+pub fn check(doc: &Json, floors: &Floors) -> CheckReport {
+    let mut report = CheckReport::default();
+    let fail = &mut report.violations;
+
+    let tiers = doc.get("tiers").and_then(Json::as_arr).unwrap_or(&[]);
+    let Some(tier) = tiers
+        .iter()
+        .find(|t| t.get("tier").and_then(Json::as_str) == Some("10k"))
+    else {
+        fail.push("no 10k tier in BENCH_scale.json".to_owned());
+        return report;
+    };
+
+    if tier.get("measured").and_then(Json::as_bool) != Some(true) {
+        fail.push("10k tier is not flagged as measured".to_owned());
+    }
+    let target = num(tier.get("target_ases"));
+    let ases = num(tier.get("as_count"));
+    if ases < target || target <= 0.0 {
+        fail.push(format!(
+            "10k tier generated {ases} ASes of {target} targeted"
+        ));
+    }
+    if num(tier.get("link_count")) <= 0.0 {
+        fail.push("10k tier has no links".to_owned());
+    }
+
+    let stages = tier.get("stages").and_then(Json::as_arr).unwrap_or(&[]);
+    for want in STAGES {
+        let Some(stage) = stages
+            .iter()
+            .find(|s| s.get("stage").and_then(Json::as_str) == Some(want))
+        else {
+            fail.push(format!("10k tier is missing stage {want:?}"));
+            continue;
+        };
+        if num(stage.get("wall_ms")) <= 0.0 {
+            fail.push(format!("10k tier stage {want:?} recorded no wall time"));
+        }
+    }
+
+    let prop = tier.get("propagation");
+    let origins = num(prop.and_then(|p| p.get("origins_sampled")));
+    if origins < floors.min_origins {
+        fail.push(format!(
+            "10k tier sampled {origins} origins (< {} floor)",
+            floors.min_origins
+        ));
+    }
+    let steady = num(prop.and_then(|p| p.get("steady_allocations_per_origin")));
+    if steady > floors.max_steady_allocs_per_origin {
+        fail.push(format!(
+            "10k tier steady-state propagation allocates {steady:.1}/origin \
+             (> {} ceiling) — buffer reuse is broken",
+            floors.max_steady_allocs_per_origin
+        ));
+    }
+    if num(prop.and_then(|p| p.get("reached_total"))) <= 0.0 {
+        fail.push("10k tier propagation reached no nodes".to_owned());
+    }
+
+    let ppdc = tier.get("ppdc");
+    let hybrid = num(ppdc.and_then(|p| p.get("hybrid_bytes")));
+    let flat = num(ppdc.and_then(|p| p.get("flat_bytes")));
+    if hybrid > flat {
+        fail.push(format!(
+            "10k tier hybrid PPDC footprint {hybrid} B exceeds the flat layout's {flat} B"
+        ));
+    }
+    let rows =
+        num(ppdc.and_then(|p| p.get("sparse_rows"))) + num(ppdc.and_then(|p| p.get("dense_rows")));
+    if rows <= 0.0 {
+        fail.push("10k tier produced no PPDC rows".to_owned());
+    }
+
+    if doc.get("exceeds_hardware").and_then(Json::as_bool) == Some(true) {
+        report
+            .notes
+            .push("thread cap exceeds hardware threads — walls are oversubscribed".to_owned());
+    }
+    if tiers.len() > 1 {
+        let extra: Vec<&str> = tiers
+            .iter()
+            .filter_map(|t| t.get("tier").and_then(Json::as_str))
+            .filter(|t| *t != "10k")
+            .collect();
+        report
+            .notes
+            .push(format!("additional tiers present (not gated): {extra:?}"));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    /// A minimal well-formed document, as `scalebench --smoke` writes it.
+    fn good_doc() -> String {
+        let stages: String = STAGES
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"stage":"{s}","wall_ms":1.5,"allocations":10,"allocated_bytes":100}},"#
+                )
+            })
+            .collect::<String>()
+            .trim_end_matches(',')
+            .to_owned();
+        format!(
+            r#"{{"name":"scalebench","seed":42,"threads":1,"hardware_threads":1,
+              "exceeds_hardware":false,"smoke":true,"tiers":[{{
+                "tier":"10k","target_ases":10000,"as_count":10000,"link_count":79817,
+                "measured":true,"stages":[{stages}],
+                "propagation":{{"origins_sampled":64,"first_origin_allocations":58,
+                  "steady_allocations_per_origin":2.4,"reached_total":634217}},
+                "ppdc":{{"sparse_rows":331,"dense_rows":19,"hybrid_bytes":7956,
+                  "flat_bytes":33600,"compression_ratio":4.2}},
+                "peak_rss_kb":16556}}]}}"#
+        )
+    }
+
+    #[test]
+    fn well_formed_smoke_doc_is_clean() {
+        let doc = parse(&good_doc()).unwrap();
+        let report = check(&doc, &Floors::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert!(report.notes.is_empty(), "notes: {:?}", report.notes);
+    }
+
+    #[test]
+    fn missing_tier_and_broken_floors_are_violations() {
+        let empty = parse(r#"{"tiers":[]}"#).unwrap();
+        let report = check(&empty, &Floors::default());
+        assert!(!report.is_clean());
+        assert!(report.violations[0].contains("no 10k tier"));
+
+        let leaky = good_doc().replace(
+            r#""steady_allocations_per_origin":2.4"#,
+            r#""steady_allocations_per_origin":5000.0"#,
+        );
+        let report = check(&parse(&leaky).unwrap(), &Floors::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("buffer reuse is broken")));
+
+        let bloated = good_doc().replace(r#""hybrid_bytes":7956"#, r#""hybrid_bytes":99999"#);
+        let report = check(&parse(&bloated).unwrap(), &Floors::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("exceeds the flat")));
+
+        let stale = good_doc().replace(r#""measured":true"#, r#""measured":false"#);
+        let report = check(&parse(&stale).unwrap(), &Floors::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("not flagged as measured")));
+
+        let lost = good_doc().replace(
+            r#"{"stage":"ppdc","wall_ms":1.5"#,
+            r#"{"stage":"ppdc","wall_ms":0.0"#,
+        );
+        let report = check(&parse(&lost).unwrap(), &Floors::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("recorded no wall time")));
+    }
+
+    #[test]
+    fn extra_tiers_and_oversubscription_are_notes_only() {
+        let full = good_doc()
+            .replace(
+                r#""peak_rss_kb":16556}]"#,
+                r#""peak_rss_kb":16556},
+               {"tier":"100k","target_ases":100000,"as_count":100000,"link_count":1,
+                "measured":true,"stages":[],
+                "propagation":{"origins_sampled":32,"first_origin_allocations":1,
+                  "steady_allocations_per_origin":1.0,"reached_total":1},
+                "ppdc":{"sparse_rows":1,"dense_rows":0,"hybrid_bytes":1,
+                  "flat_bytes":2,"compression_ratio":2.0},
+                "peak_rss_kb":1}]"#,
+            )
+            .replace(r#""exceeds_hardware":false"#, r#""exceeds_hardware":true"#);
+        let report = check(&parse(&full).unwrap(), &Floors::default());
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.notes.len(), 2);
+        assert!(report.notes.iter().any(|n| n.contains("oversubscribed")));
+        assert!(report.notes.iter().any(|n| n.contains("100k")));
+    }
+}
